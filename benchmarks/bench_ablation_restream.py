@@ -1,0 +1,53 @@
+"""Ablation: restreaming (multi-pass) partitioning (DESIGN.md §7).
+
+The paper's related work ([27], Nishimura & Ugander) observes that
+re-running a streaming partitioner with information from a previous pass
+improves quality.  This bench quantifies that for the degree-aware
+strategies in this library: a second pass starts with the complete degree
+table, so every θ/Ψ in HDRF's and ADWISE's scoring is exact from the
+first edge — at exactly 2x the partitioning latency.
+"""
+
+from _common import emit, stream_factory
+
+from repro.bench.harness import ExperimentConfig, run_partitioning
+from repro.bench.reporting import format_table
+from repro.bench.workloads import BRAIN, adwise_factory
+from repro.partitioning.hdrf import HDRFPartitioner
+from repro.partitioning.restream import RestreamingDriver
+
+
+def run_experiment():
+    """Single-instance runs (restreaming is defined per instance)."""
+    stream = stream_factory(BRAIN)()
+    rows = []
+    adwise = adwise_factory(None, use_clustering=True, fixed_window=16)
+    for label, factory, passes in [
+            ("HDRF 1-pass",
+             lambda parts, clock: HDRFPartitioner(parts, clock=clock), 1),
+            ("HDRF 2-pass",
+             lambda parts, clock: HDRFPartitioner(parts, clock=clock), 2),
+            ("ADWISE 1-pass", adwise, 1),
+            ("ADWISE 2-pass", adwise, 2),
+    ]:
+        driver = RestreamingDriver(factory, list(range(32)), passes=passes)
+        result = driver.run(stream)
+        rows.append((label, result.latency_ms, result.replication_degree,
+                     result.imbalance))
+    return rows
+
+
+def test_ablation_restreaming(benchmark):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    table = format_table(
+        ["variant", "part_ms", "repl_degree", "imbalance"],
+        [list(r) for r in rows],
+        title="Ablation: restreaming on Brain (single instance, k=32)")
+    emit("ablation_restream", table)
+
+    by = {label: (lat, repl, imb) for label, lat, repl, imb in rows}
+    # A second pass must not hurt quality for either strategy...
+    assert by["HDRF 2-pass"][1] <= by["HDRF 1-pass"][1] * 1.02
+    assert by["ADWISE 2-pass"][1] <= by["ADWISE 1-pass"][1] * 1.02
+    # ...and costs about twice the latency.
+    assert by["HDRF 2-pass"][0] > by["HDRF 1-pass"][0] * 1.8

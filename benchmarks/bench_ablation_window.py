@@ -1,0 +1,53 @@
+"""Ablation: fixed window sizes vs the adaptive window policy.
+
+Demonstrates the window-size/quality trade-off directly (the mechanism
+behind Figs. 7g-i) and shows the adaptive policy lands at a quality level
+comparable to the best fixed window that fits the same latency budget —
+without knowing the right window size in advance.
+"""
+
+from _common import emit, stream_factory
+
+from repro.bench.harness import ExperimentConfig, replication_sweep
+from repro.bench.reporting import format_table
+from repro.bench.workloads import BRAIN, adwise_factory
+
+FIXED_SIZES = (1, 4, 16, 64)
+
+
+def run_experiment():
+    configs = [
+        ExperimentConfig(f"fixed w={w}", adwise_factory(
+            None, use_clustering=True, fixed_window=w))
+        for w in FIXED_SIZES
+    ]
+    configs.append(ExperimentConfig("adaptive", adwise_factory(
+        None, use_clustering=True, max_window=64)))
+    return replication_sweep(stream_factory(BRAIN), configs, enforce_balance=False)
+
+
+def test_ablation_window_policy(benchmark):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    table = format_table(
+        ["variant", "part_ms", "repl_degree", "imbalance"],
+        [[r.label, r.partitioning_ms, r.replication_degree, r.imbalance]
+         for r in rows],
+        title="Ablation: window policy on Brain")
+    emit("ablation_window", table)
+
+    by = {r.label: r for r in rows}
+    # Larger fixed windows give better quality at higher latency.
+    assert (by["fixed w=64"].replication_degree
+            < by["fixed w=1"].replication_degree)
+    assert (by["fixed w=64"].partitioning_ms
+            > by["fixed w=1"].partitioning_ms)
+    # The adaptive policy beats every fixed window that costs no more
+    # latency than it spent (it pays for its early small-window phase, so
+    # it cannot match a from-the-start large window at that window's
+    # higher price — the point is it finds the trade-off on its own).
+    adaptive = by["adaptive"]
+    for w in FIXED_SIZES:
+        fixed = by[f"fixed w={w}"]
+        if fixed.partitioning_ms <= adaptive.partitioning_ms * 1.05:
+            assert (adaptive.replication_degree
+                    <= fixed.replication_degree * 1.02), (w, fixed)

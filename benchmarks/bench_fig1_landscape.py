@@ -1,0 +1,76 @@
+"""Fig. 1 reproduction: the partitioning latency/quality landscape.
+
+Fig. 1 positions the algorithm families: hashing strategies at minimal
+latency and minimal quality, greedy/degree-aware single-edge streaming in
+the middle, and ADWISE spanning a *controllable* region up and to the
+right.  This bench runs every implemented strategy on the Brain analogue
+and prints (partitioning latency, replication degree) pairs; the shape
+assertions check the orderings the figure encodes.
+"""
+
+from _common import emit, single_edge_latency_ms, stream_factory
+
+from repro.bench.harness import ExperimentConfig, replication_sweep
+from repro.bench.reporting import format_table
+from repro.bench.workloads import BRAIN, adwise_factory, baseline_factories
+from repro.partitioning.jabeja import JaBeJaVCPartitioner
+from repro.partitioning.ne import NEPartitioner
+from repro.partitioning.powerlyra import PowerLyraPartitioner
+
+
+def run_landscape():
+    factories = baseline_factories()
+    configs = [ExperimentConfig(name, factories[name])
+               for name in ("Hash", "Grid", "DBH", "Greedy", "HDRF")]
+    configs.append(ExperimentConfig(
+        "PowerLyra",
+        lambda parts, clock: PowerLyraPartitioner(parts, clock=clock)))
+    base = single_edge_latency_ms(BRAIN)
+    for mult in (2, 8, 32):
+        configs.append(ExperimentConfig(
+            f"ADWISE {mult}x",
+            adwise_factory(base * mult, use_clustering=True,
+                           max_window=256)))
+    # The super-linear comparators at the right edge of the figure.
+    configs.append(ExperimentConfig(
+        "JaBeJa-VC",
+        lambda parts, clock: JaBeJaVCPartitioner(parts, clock=clock,
+                                                 rounds=5)))
+    configs.append(ExperimentConfig(
+        "NE",
+        lambda parts, clock: NEPartitioner(parts, clock=clock)))
+    return replication_sweep(stream_factory(BRAIN), configs, enforce_balance=False)
+
+
+def test_fig1_landscape(benchmark):
+    rows = benchmark.pedantic(run_landscape, rounds=1, iterations=1)
+    table = format_table(
+        ["strategy", "part_ms", "repl_degree", "imbalance"],
+        [[r.label, r.partitioning_ms, r.replication_degree, r.imbalance]
+         for r in rows],
+        title="Fig. 1 analogue: latency vs quality landscape (Brain)")
+    emit("fig1_landscape", table)
+
+    by = {r.label: r for r in rows}
+    # Quality ordering of the families (lower replication = better).
+    assert by["HDRF"].replication_degree < by["Hash"].replication_degree
+    assert by["DBH"].replication_degree < by["Hash"].replication_degree
+    assert (by["ADWISE 32x"].replication_degree
+            < by["HDRF"].replication_degree)
+    # Latency ordering: hashing cheapest, ADWISE most expensive.
+    assert by["Hash"].partitioning_ms < by["HDRF"].partitioning_ms
+    assert by["HDRF"].partitioning_ms < by["ADWISE 32x"].partitioning_ms
+    # The ADWISE region is controllable: more latency, more quality.
+    assert (by["ADWISE 2x"].partitioning_ms
+            < by["ADWISE 8x"].partitioning_ms
+            < by["ADWISE 32x"].partitioning_ms)
+    assert (by["ADWISE 32x"].replication_degree
+            <= by["ADWISE 2x"].replication_degree)
+    # Super-linear comparators sit to the right: NE delivers the best
+    # quality of all streaming-start strategies at all-edge cost, and
+    # JaBeJa-VC clearly improves on its hash starting point.
+    assert by["NE"].replication_degree < by["HDRF"].replication_degree
+    assert by["NE"].partitioning_ms > by["HDRF"].partitioning_ms
+    assert (by["JaBeJa-VC"].replication_degree
+            < by["Hash"].replication_degree)
+    assert by["JaBeJa-VC"].partitioning_ms > by["Hash"].partitioning_ms

@@ -1,0 +1,47 @@
+"""Fig. 7c reproduction: PageRank on Orkut — stacked total latency.
+
+Orkut has a very low clustering coefficient, so the paper switches
+ADWISE's clustering score OFF for this graph (as does our GraphSpec) and
+reports smaller but still positive gains: total latency down up to 11% vs
+HDRF and 29% vs DBH, with replication degree improvements of only a few
+percent on this locality-poor stream.
+"""
+
+from _common import adwise_rows, emit, standard_configs, stream_factory
+
+from repro.bench.harness import stacked_latency_experiment
+from repro.bench.reporting import format_stacked_rows, summarize_winner
+from repro.bench.workloads import ORKUT
+
+BLOCKS = 3
+
+
+def run_experiment():
+    graph = ORKUT.build()
+    configs = standard_configs(ORKUT)
+    return stacked_latency_experiment(
+        graph, stream_factory(ORKUT), configs,
+        workload="pagerank", block_iterations=100, num_blocks=BLOCKS,
+        enforce_balance=False)
+
+
+def test_fig7c_pagerank_orkut(benchmark):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    report = format_stacked_rows(
+        rows, title="Fig. 7c: PageRank on Orkut (clustering score off)",
+        num_blocks=BLOCKS)
+    report += "\n" + summarize_winner(rows, BLOCKS)
+    emit("fig7c_pagerank_orkut", report)
+
+    by = {r.label: r for r in rows}
+    sweep = adwise_rows(rows)
+    best_adwise = min(sweep, key=lambda r: r.total_after_blocks(BLOCKS))
+    # ADWISE still pays off against both baselines, if by less than on the
+    # clustered graphs (paper: 11% vs HDRF, 29% vs DBH).
+    assert (best_adwise.total_after_blocks(BLOCKS)
+            <= by["HDRF"].total_after_blocks(BLOCKS))
+    assert (best_adwise.total_after_blocks(BLOCKS)
+            < by["DBH"].total_after_blocks(BLOCKS))
+    # Orkut's replication degree stays comparatively high for everyone and
+    # ADWISE's margin over HDRF is small (paper: up to 4%).
+    assert sweep[-1].replication_degree <= by["HDRF"].replication_degree

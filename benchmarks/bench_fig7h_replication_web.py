@@ -1,0 +1,37 @@
+"""Fig. 7h reproduction: replication degree vs partitioning latency, Web.
+
+Paper numbers: ADWISE cuts replication degree vs HDRF by 12% at a small
+latency budget and 25% at a large one (41% and 51% vs DBH) — larger
+partitioning latency means larger windows and more informed decisions.
+"""
+
+from _common import adwise_rows, emit, standard_configs, stream_factory
+
+from repro.bench.harness import replication_sweep
+from repro.bench.reporting import format_table
+from repro.bench.workloads import WEB
+
+
+def run_experiment():
+    configs = standard_configs(WEB, multipliers=(2, 4, 8, 16, 32))
+    return replication_sweep(stream_factory(WEB), configs, enforce_balance=False)
+
+
+def test_fig7h_replication_web(benchmark):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    table = format_table(
+        ["config", "part_ms", "repl_degree", "imbalance"],
+        [[r.label, r.partitioning_ms, r.replication_degree, r.imbalance]
+         for r in rows],
+        title="Fig. 7h: replication degree on Web")
+    emit("fig7h_replication_web", table)
+
+    by = {r.label: r for r in rows}
+    sweep = adwise_rows(rows)
+    # The gain over HDRF grows with the latency budget.
+    first_gain = 1 - sweep[0].replication_degree / by["HDRF"].replication_degree
+    last_gain = 1 - sweep[-1].replication_degree / by["HDRF"].replication_degree
+    assert last_gain >= first_gain
+    assert last_gain > 0.08, f"vs HDRF only {last_gain:.1%}"
+    assert (sweep[-1].replication_degree
+            < by["DBH"].replication_degree * 0.75)

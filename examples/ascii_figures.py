@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""Render the paper's figure shapes as ASCII charts in your terminal.
+
+Runs a compact version of the Fig. 7a experiment (PageRank on the Brain
+analogue) and the Fig. 8 spread sweep, then draws them with the bundled
+chart renderers — the stacked-bar dip at ADWISE's sweet spot and the
+spotlight staircase are visible without any plotting dependency.
+
+Run:  python examples/ascii_figures.py   (takes a minute or two)
+"""
+
+from repro.bench.charts import grouped_bar_chart, stacked_bar_chart
+from repro.bench.harness import (
+    ExperimentConfig,
+    run_partitioning,
+    spotlight_sweep,
+    stacked_latency_experiment,
+)
+from repro.bench.workloads import BRAIN, adwise_factory, baseline_factories
+
+
+def main() -> None:
+    graph = BRAIN.build()
+    stream = lambda: BRAIN.stream(order="local-shuffle")
+
+    base = run_partitioning(baseline_factories()["HDRF"], stream()).latency_ms
+    configs = [
+        ExperimentConfig("DBH", baseline_factories()["DBH"]),
+        ExperimentConfig("HDRF", baseline_factories()["HDRF"]),
+        ExperimentConfig("ADWISE 4x", adwise_factory(
+            base * 4, use_clustering=True, max_window=128)),
+        ExperimentConfig("ADWISE 16x", adwise_factory(
+            base * 16, use_clustering=True, max_window=128)),
+    ]
+    rows = stacked_latency_experiment(
+        graph, stream, configs, workload="pagerank",
+        block_iterations=100, num_blocks=2, enforce_balance=False)
+    print(stacked_bar_chart(
+        rows, width=56, num_blocks=2,
+        title="Fig. 7a shape: PageRank on Brain (total latency)"))
+
+    print()
+    sweep = spotlight_sweep(
+        lambda: BRAIN.stream(order="adjacency"),
+        [ExperimentConfig("DBH", baseline_factories()["DBH"]),
+         ExperimentConfig("HDRF", baseline_factories()["HDRF"])],
+        spreads=(4, 8, 16, 32))
+    print(grouped_bar_chart(
+        sweep, width=46,
+        title="Fig. 8 shape: replication degree by spotlight spread"))
+
+
+if __name__ == "__main__":
+    main()

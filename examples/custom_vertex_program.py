@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""Writing your own vertex program for the processing-engine simulator.
+
+Implements triangle counting as a Pregel-style vertex program, runs it on
+two different partitionings of the same graph, and shows that (a) the
+algorithm's *result* is identical — the engine computes on the logical
+graph — while (b) the *simulated latency* differs, because a better
+partitioning means fewer replica-synchronisation messages.
+
+Run:  python examples/custom_vertex_program.py
+"""
+
+from repro import (
+    AdwisePartitioner,
+    Engine,
+    HashPartitioner,
+    Placement,
+    VertexProgram,
+    shuffled,
+    web_like_graph,
+)
+
+NUM_PARTITIONS = 16
+NUM_MACHINES = 4
+
+
+class TriangleCount(VertexProgram):
+    """Count triangles: each vertex learns its neighbors' neighbor lists.
+
+    Superstep 0: send my id to all neighbors.
+    Superstep 1: send the received neighbor set to all neighbors.
+    Superstep 2: count how many advertised neighbors are also my neighbors;
+    every triangle is counted once at each of its three corners.
+    """
+
+    name = "triangles"
+
+    def initial_state(self, vertex, degree):
+        return 0
+
+    def compute(self, vertex, state, messages, neighbors, ctx):
+        if ctx.superstep == 0:
+            ctx.send_all(neighbors, vertex)
+        elif ctx.superstep == 1:
+            peers = frozenset(messages)
+            ctx.send_all(neighbors, peers)
+        elif ctx.superstep == 2:
+            mine = set(neighbors)
+            hits = sum(len(mine & peers) for peers in messages)
+            ctx.vote_halt()
+            return hits // 2  # each triangle seen twice per corner
+        else:
+            ctx.vote_halt()
+        return state
+
+
+def main() -> None:
+    graph = web_like_graph(num_communities=30, community_size=10, seed=5)
+    print(f"graph: {graph.num_vertices} vertices, {graph.num_edges} edges")
+
+    def run_on(partitioner, label):
+        result = partitioner.partition_stream(shuffled(graph.edges(), seed=2))
+        placement = Placement(result.assignments,
+                              partitions=list(range(NUM_PARTITIONS)),
+                              num_machines=NUM_MACHINES)
+        engine = Engine(graph, placement)
+        report = engine.run(TriangleCount(), max_supersteps=5)
+        triangles = sum(report.states.values()) // 3
+        print(f"{label:<10} replication={result.replication_degree:6.3f}  "
+              f"triangles={triangles:>6}  "
+              f"simulated processing latency={report.latency_ms:8.2f} ms")
+        return triangles, report.latency_ms
+
+    tri_hash, lat_hash = run_on(HashPartitioner(range(NUM_PARTITIONS)),
+                                "Hash")
+    tri_adwise, lat_adwise = run_on(
+        AdwisePartitioner(range(NUM_PARTITIONS), fixed_window=32), "ADWISE")
+
+    assert tri_hash == tri_adwise, "results must not depend on partitioning"
+    print(f"\nSame answer, different latency: the ADWISE placement is "
+          f"{(1 - lat_adwise / lat_hash):.0%} faster to process.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Spotlight partitioning: parallel loading done right (paper §III-D).
+
+Eight partitioner instances load disjoint chunks of a graph in parallel,
+as real graph systems do.  This example sweeps the *spread* — how many of
+the 32 global partitions each instance may fill — and shows that small,
+exclusive spotlights dramatically reduce the replication degree for every
+strategy, while the maximal spread used by prior systems is the worst
+setting.
+
+Run:  python examples/spotlight_parallel_loading.py
+"""
+
+from repro import HDRFPartitioner, DBHPartitioner
+from repro.core.adwise import AdwisePartitioner
+from repro.bench.workloads import BRAIN
+from repro.partitioning.parallel import ParallelLoader
+
+NUM_PARTITIONS = 32
+NUM_INSTANCES = 8
+SPREADS = (4, 8, 16, 32)
+
+STRATEGIES = {
+    "DBH": lambda parts, clock: DBHPartitioner(parts, clock=clock),
+    "HDRF": lambda parts, clock: HDRFPartitioner(parts, clock=clock),
+    "ADWISE": lambda parts, clock: AdwisePartitioner(
+        parts, clock=clock, fixed_window=32),
+}
+
+
+def main() -> None:
+    graph = BRAIN.build()
+    print(f"Brain analogue: {graph.num_vertices} vertices, "
+          f"{graph.num_edges} edges")
+    print(f"{NUM_INSTANCES} parallel partitioner instances, "
+          f"{NUM_PARTITIONS} partitions\n")
+
+    header = f"{'strategy':<8}" + "".join(f"  spread={s:<3}" for s in SPREADS)
+    print(header)
+    print("-" * len(header))
+    for name, factory in STRATEGIES.items():
+        cells = []
+        for spread in SPREADS:
+            loader = ParallelLoader(
+                factory, partitions=list(range(NUM_PARTITIONS)),
+                num_instances=NUM_INSTANCES, spread=spread)
+            result = loader.run(BRAIN.stream())
+            cells.append(f"{result.replication_degree:>10.3f}")
+        print(f"{name:<8}" + " ".join(cells))
+
+    print("\nspread=4 gives each instance its own exclusive partitions "
+          "(the spotlight);")
+    print("spread=32 is the maximal spread of prior systems. Lower "
+          "replication degree is better.")
+
+
+if __name__ == "__main__":
+    main()

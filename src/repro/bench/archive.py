@@ -1,0 +1,122 @@
+"""Experiment archiving: persist benchmark rows as JSON and diff runs.
+
+Reproduction numbers drift as the implementation evolves; archiving every
+harness run makes the drift visible.  An archive stores the experiment id,
+the configuration rows and free-form metadata; :func:`diff_archives`
+reports per-configuration changes in the tracked metrics so a regression
+in replication degree or latency shows up as a structured delta instead
+of a vague "numbers look different".
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.bench.harness import LatencyRow
+
+FORMAT_VERSION = 1
+
+
+@dataclass
+class ArchivedRow:
+    """JSON-friendly snapshot of one LatencyRow."""
+
+    label: str
+    partitioning_ms: float
+    block_ms: List[float]
+    replication_degree: float
+    imbalance: float
+    score_computations: int
+
+    @classmethod
+    def from_row(cls, row: LatencyRow) -> "ArchivedRow":
+        return cls(label=row.label,
+                   partitioning_ms=row.partitioning_ms,
+                   block_ms=list(row.block_ms),
+                   replication_degree=row.replication_degree,
+                   imbalance=row.imbalance,
+                   score_computations=row.score_computations)
+
+    def to_row(self) -> LatencyRow:
+        return LatencyRow(label=self.label,
+                          partitioning_ms=self.partitioning_ms,
+                          block_ms=list(self.block_ms),
+                          replication_degree=self.replication_degree,
+                          imbalance=self.imbalance,
+                          score_computations=self.score_computations)
+
+
+def save_archive(path: "str | os.PathLike", experiment: str,
+                 rows: Sequence[LatencyRow],
+                 metadata: Optional[Mapping[str, object]] = None) -> None:
+    """Write an experiment's rows (plus metadata) as JSON."""
+    payload = {
+        "format_version": FORMAT_VERSION,
+        "experiment": experiment,
+        "metadata": dict(metadata or {}),
+        "rows": [asdict(ArchivedRow.from_row(row)) for row in rows],
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def load_archive(path: "str | os.PathLike"):
+    """Load an archive; returns ``(experiment, rows, metadata)``."""
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    version = payload.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ValueError(f"unsupported archive version {version!r}")
+    rows = [ArchivedRow(**entry).to_row() for entry in payload["rows"]]
+    return payload["experiment"], rows, payload.get("metadata", {})
+
+
+@dataclass
+class MetricDelta:
+    """Relative change of one metric for one configuration."""
+
+    label: str
+    metric: str
+    before: float
+    after: float
+
+    @property
+    def relative(self) -> float:
+        if self.before == 0:
+            return 0.0 if self.after == 0 else float("inf")
+        return (self.after - self.before) / self.before
+
+
+def diff_archives(before_rows: Sequence[LatencyRow],
+                  after_rows: Sequence[LatencyRow],
+                  threshold: float = 0.02) -> List[MetricDelta]:
+    """Per-configuration metric changes exceeding ``threshold`` (relative).
+
+    Configurations present on only one side are reported with the missing
+    side as NaN so additions/removals are visible too.
+    """
+    deltas: List[MetricDelta] = []
+    before = {row.label: row for row in before_rows}
+    after = {row.label: row for row in after_rows}
+    nan = float("nan")
+    for label in sorted(set(before) | set(after)):
+        b, a = before.get(label), after.get(label)
+        if b is None or a is None:
+            deltas.append(MetricDelta(label, "presence",
+                                      nan if b is None else 1.0,
+                                      nan if a is None else 1.0))
+            continue
+        for metric in ("partitioning_ms", "replication_degree",
+                       "imbalance"):
+            b_val = getattr(b, metric)
+            a_val = getattr(a, metric)
+            if b_val == 0 and a_val == 0:
+                continue
+            base = abs(b_val) if b_val != 0 else 1.0
+            if abs(a_val - b_val) / base > threshold:
+                deltas.append(MetricDelta(label, metric, b_val, a_val))
+    return deltas

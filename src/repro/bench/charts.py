@@ -1,0 +1,106 @@
+"""ASCII chart rendering for the reproduction figures.
+
+The paper presents Fig. 7 as stacked bar charts and Fig. 8 as grouped
+bars.  These renderers draw the same shapes in plain text so a terminal
+diff shows not just the numbers but the *picture* — the sweet spot dip of
+Fig. 7a-f and the spread staircase of Fig. 8 are visible at a glance.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence
+
+from repro.bench.harness import LatencyRow
+
+#: Glyphs for the partitioning segment and successive processing blocks.
+_SEGMENT_GLYPHS = "#*+=~^"
+
+
+def stacked_bar_chart(rows: Sequence[LatencyRow], width: int = 60,
+                      num_blocks: int = 3, title: str = "") -> str:
+    """Render Fig. 7-style horizontal stacked bars.
+
+    Each row becomes one bar: a ``#`` segment for partitioning latency
+    followed by one segment per processing block (``*``, ``+``, ...),
+    scaled to the longest total.
+    """
+    if not rows:
+        return title
+    totals = [row.total_after_blocks(num_blocks) for row in rows]
+    scale = max(totals) or 1.0
+    label_width = max(len(row.label) for row in rows)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    for row, total in zip(rows, totals):
+        segments = [row.partitioning_ms] + list(row.block_ms[:num_blocks])
+        bar = ""
+        for index, segment in enumerate(segments):
+            glyph = _SEGMENT_GLYPHS[min(index, len(_SEGMENT_GLYPHS) - 1)]
+            bar += glyph * max(0, round(segment / scale * width))
+        lines.append(f"{row.label:<{label_width}} |{bar:<{width}}| "
+                     f"{total:,.0f} ms")
+    legend = "legend: # partitioning"
+    for b in range(min(num_blocks, len(_SEGMENT_GLYPHS) - 1)):
+        legend += f"  {_SEGMENT_GLYPHS[b + 1]} block {b + 1}"
+    lines.append(legend)
+    return "\n".join(lines)
+
+
+def grouped_bar_chart(series: Mapping[str, Mapping[int, float]],
+                      width: int = 50, title: str = "",
+                      x_label: str = "spread") -> str:
+    """Render Fig. 8-style grouped horizontal bars.
+
+    ``series`` maps strategy -> {x value -> measurement}; bars are grouped
+    by strategy and scaled to the global maximum.
+    """
+    if not series:
+        return title
+    all_values = [v for per in series.values() for v in per.values()]
+    scale = max(all_values) or 1.0
+    xs = sorted({x for per in series.values() for x in per})
+    label_width = max(len(f"{x_label}={x}") for x in xs)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    for strategy, per in series.items():
+        lines.append(f"{strategy}:")
+        for x in xs:
+            value = per.get(x)
+            if value is None:
+                continue
+            bar = "#" * max(1, round(value / scale * width))
+            lines.append(f"  {f'{x_label}={x}':<{label_width}} "
+                         f"|{bar:<{width}}| {value:.3f}")
+    return "\n".join(lines)
+
+
+def line_chart(points: Mapping[float, float], width: int = 60,
+               height: int = 12, title: str = "") -> str:
+    """Render a sparse scatter/line chart (e.g. window size over time)."""
+    if not points:
+        return title
+    xs = sorted(points)
+    ys = [points[x] for x in xs]
+    x_min, x_max = xs[0], xs[-1]
+    y_min, y_max = min(ys), max(ys)
+    x_span = (x_max - x_min) or 1.0
+    y_span = (y_max - y_min) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for x, y in points.items():
+        col = min(width - 1, int((x - x_min) / x_span * (width - 1)))
+        row = min(height - 1, int((y - y_min) / y_span * (height - 1)))
+        grid[height - 1 - row][col] = "o"
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(f"y: {y_min:g} .. {y_max:g}")
+    for row in grid:
+        lines.append("|" + "".join(row) + "|")
+    lines.append("+" + "-" * width + "+")
+    lines.append(f"x: {x_min:g} .. {x_max:g}")
+    return "\n".join(lines)

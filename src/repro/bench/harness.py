@@ -1,0 +1,213 @@
+"""Experiment runners reproducing the paper's figures.
+
+Three experiment shapes cover every figure:
+
+* :func:`stacked_latency_experiment` — Fig. 7a–f: for each partitioner
+  configuration, partition the graph (parallel loading, z instances), then
+  simulate the processing workload and report partitioning latency plus
+  cumulative per-block processing latency (the paper's stacked bars).
+* :func:`replication_sweep` — Fig. 7g–i and Fig. 1: replication degree (and
+  partitioning latency) per configuration.
+* :func:`spotlight_sweep` — Fig. 8: replication degree as a function of the
+  spotlight spread, for each strategy.
+
+All runs assert the paper's balance condition
+``(maxsize − minsize)/maxsize < 0.05`` unless a run is explicitly marked
+as tolerating imbalance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.graph.graph import Graph
+from repro.graph.stream import EdgeStream
+from repro.engine.cost import cost_model_for
+from repro.engine.placement import Placement
+from repro.engine.runtime import Engine
+from repro.engine.vertex_program import VertexProgram
+from repro.partitioning.base import StreamingPartitioner
+from repro.partitioning.parallel import ParallelLoader, ParallelResult
+from repro.simtime import Clock, SimulatedClock
+from repro.bench.workloads import (
+    DEFAULT_SPREAD,
+    NUM_INSTANCES,
+    NUM_PARTITIONS,
+)
+
+PartitionerFactory = Callable[[Sequence[int], Clock], StreamingPartitioner]
+
+#: The paper's Fig. 7 balance condition.
+BALANCE_LIMIT = 0.05
+
+
+@dataclass
+class ExperimentConfig:
+    """One bar group of a Fig. 7-style experiment."""
+
+    label: str
+    factory: PartitionerFactory
+
+
+@dataclass
+class LatencyRow:
+    """One configuration's stacked-latency measurements."""
+
+    label: str
+    partitioning_ms: float
+    block_ms: List[float]
+    replication_degree: float
+    imbalance: float
+    score_computations: int
+
+    def total_after_blocks(self, blocks: int) -> float:
+        """Partitioning + processing latency after ``blocks`` blocks."""
+        return self.partitioning_ms + sum(self.block_ms[:blocks])
+
+    @property
+    def total_ms(self) -> float:
+        return self.partitioning_ms + sum(self.block_ms)
+
+
+def run_partitioning(factory: PartitionerFactory,
+                     stream: EdgeStream,
+                     num_partitions: int = NUM_PARTITIONS,
+                     num_instances: int = NUM_INSTANCES,
+                     spread: int = DEFAULT_SPREAD) -> ParallelResult:
+    """Partition ``stream`` with the paper's parallel-loading setup."""
+    loader = ParallelLoader(
+        factory,
+        partitions=list(range(num_partitions)),
+        num_instances=num_instances,
+        spread=spread,
+        clock_factory=SimulatedClock,
+    )
+    return loader.run(stream)
+
+
+def check_balance(result: ParallelResult, limit: float = BALANCE_LIMIT) -> None:
+    """Assert the paper's balance condition; raise with detail if violated."""
+    observed = result.imbalance
+    if observed >= limit:
+        raise AssertionError(
+            f"{result.algorithm}: imbalance {observed:.3f} >= {limit} "
+            f"(sizes {sorted(result.partition_sizes.values())})")
+
+
+def _placement(result: ParallelResult,
+               num_partitions: int,
+               num_machines: int) -> Placement:
+    return Placement(
+        result.assignments,
+        partitions=list(range(num_partitions)),
+        num_machines=num_machines,
+    )
+
+
+def stacked_latency_experiment(
+        graph: Graph,
+        stream_factory: Callable[[], EdgeStream],
+        configs: Sequence[ExperimentConfig],
+        workload: str = "pagerank",
+        block_iterations: int = 100,
+        num_blocks: int = 3,
+        program_factory: Optional[Callable[[Graph], VertexProgram]] = None,
+        num_partitions: int = NUM_PARTITIONS,
+        num_instances: int = NUM_INSTANCES,
+        spread: int = DEFAULT_SPREAD,
+        enforce_balance: bool = True,
+        balance_limit: float = BALANCE_LIMIT) -> List[LatencyRow]:
+    """Fig. 7a–f experiment: partition, then simulate processing blocks.
+
+    For stationary workloads (PageRank, coloring) each block's latency is
+    the analytic cost of ``block_iterations`` supersteps.  For
+    message-driven workloads pass ``program_factory``; each block then runs
+    the program on the engine and its simulated latency is measured.
+    """
+    rows: List[LatencyRow] = []
+    cost_model = cost_model_for(workload)
+    for config in configs:
+        result = run_partitioning(
+            config.factory, stream_factory(),
+            num_partitions=num_partitions,
+            num_instances=num_instances,
+            spread=spread)
+        if enforce_balance:
+            check_balance(result, limit=balance_limit)
+        placement = _placement(result, num_partitions, num_instances)
+        engine = Engine(graph, placement, cost_model)
+        block_ms: List[float] = []
+        for _ in range(num_blocks):
+            if program_factory is None:
+                block_ms.append(
+                    engine.stationary_latency_ms(block_iterations))
+            else:
+                report = engine.run(program_factory(graph),
+                                    max_supersteps=block_iterations)
+                block_ms.append(report.latency_ms)
+        rows.append(LatencyRow(
+            label=config.label,
+            partitioning_ms=result.latency_ms,
+            block_ms=block_ms,
+            replication_degree=result.replication_degree,
+            imbalance=result.imbalance,
+            score_computations=result.score_computations,
+        ))
+    return rows
+
+
+def replication_sweep(
+        stream_factory: Callable[[], EdgeStream],
+        configs: Sequence[ExperimentConfig],
+        num_partitions: int = NUM_PARTITIONS,
+        num_instances: int = NUM_INSTANCES,
+        spread: int = DEFAULT_SPREAD,
+        enforce_balance: bool = True,
+        balance_limit: float = BALANCE_LIMIT) -> List[LatencyRow]:
+    """Fig. 7g–i / Fig. 1: replication degree per configuration."""
+    rows: List[LatencyRow] = []
+    for config in configs:
+        result = run_partitioning(
+            config.factory, stream_factory(),
+            num_partitions=num_partitions,
+            num_instances=num_instances,
+            spread=spread)
+        if enforce_balance:
+            check_balance(result, limit=balance_limit)
+        rows.append(LatencyRow(
+            label=config.label,
+            partitioning_ms=result.latency_ms,
+            block_ms=[],
+            replication_degree=result.replication_degree,
+            imbalance=result.imbalance,
+            score_computations=result.score_computations,
+        ))
+    return rows
+
+
+def spotlight_sweep(
+        stream_factory: Callable[[], EdgeStream],
+        configs: Sequence[ExperimentConfig],
+        spreads: Sequence[int],
+        num_partitions: int = NUM_PARTITIONS,
+        num_instances: int = NUM_INSTANCES) -> Dict[str, Dict[int, float]]:
+    """Fig. 8: replication degree per (strategy, spread).
+
+    Returns ``{strategy label: {spread: replication degree}}``.  Balance is
+    not enforced here: large spreads with few instances are exactly the
+    regime where prior systems sacrifice either balance or locality, and
+    the figure reports replication degree only.
+    """
+    results: Dict[str, Dict[int, float]] = {}
+    for config in configs:
+        per_spread: Dict[int, float] = {}
+        for spread in spreads:
+            result = run_partitioning(
+                config.factory, stream_factory(),
+                num_partitions=num_partitions,
+                num_instances=num_instances,
+                spread=spread)
+            per_spread[spread] = result.replication_degree
+        results[config.label] = per_spread
+    return results

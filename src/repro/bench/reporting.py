@@ -1,0 +1,89 @@
+"""Plain-text report rendering for the benchmark harness.
+
+The paper presents results as bar charts (Fig. 7, Fig. 8) and tables
+(Table II); the harness renders the same data as fixed-width text tables —
+one row per bar / series point — so runs are diffable and greppable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.bench.harness import LatencyRow
+
+
+def format_table(headers: Sequence[str],
+                 rows: Sequence[Sequence[object]],
+                 title: str = "") -> str:
+    """Render a fixed-width table with right-aligned numeric columns."""
+    rendered_rows = [[_render_cell(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    header_line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in rendered_rows:
+        lines.append("  ".join(cell.rjust(widths[i]) if _is_numeric(cell)
+                               else cell.ljust(widths[i])
+                               for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _render_cell(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.3f}"
+    return str(cell)
+
+
+def _is_numeric(cell: str) -> bool:
+    try:
+        float(cell.replace(",", ""))
+        return True
+    except ValueError:
+        return False
+
+
+def format_stacked_rows(rows: Sequence[LatencyRow],
+                        title: str = "",
+                        num_blocks: int = 3) -> str:
+    """Render Fig. 7-style stacked latencies: one row per configuration.
+
+    Columns show partitioning latency, cumulative total after each block,
+    and the resulting replication degree — the same information the paper
+    encodes as stacked bars with annotations.
+    """
+    headers = ["config", "part_ms"]
+    headers += [f"total@{b + 1}blk" for b in range(num_blocks)]
+    headers += ["repl_degree", "imbalance"]
+    table_rows = []
+    for row in rows:
+        cells: List[object] = [row.label, row.partitioning_ms]
+        cells += [row.total_after_blocks(b + 1) for b in range(num_blocks)]
+        cells += [row.replication_degree, row.imbalance]
+        table_rows.append(cells)
+    return format_table(headers, table_rows, title=title)
+
+
+def format_spotlight(results: Dict[str, Dict[int, float]],
+                     title: str = "") -> str:
+    """Render a Fig. 8-style spread sweep: strategies × spreads."""
+    spreads = sorted({s for per in results.values() for s in per})
+    headers = ["strategy"] + [f"spread={s}" for s in spreads]
+    rows = []
+    for label, per_spread in results.items():
+        rows.append([label] + [per_spread.get(s, float("nan"))
+                               for s in spreads])
+    return format_table(headers, rows, title=title)
+
+
+def summarize_winner(rows: Sequence[LatencyRow], blocks: int) -> str:
+    """One-line verdict: which configuration minimises total latency."""
+    best = min(rows, key=lambda r: r.total_after_blocks(blocks))
+    return (f"minimum total latency after {blocks} block(s): "
+            f"{best.label} ({best.total_after_blocks(blocks):.1f} ms)")

@@ -1,0 +1,17 @@
+"""ADWISE core: adaptive window-based streaming edge partitioning."""
+
+from repro.core.scoring import AdaptiveBalancer, AdwiseScoring
+from repro.core.window import EdgeWindow
+from repro.core.adaptive import AdaptiveWindowController, WindowDecision
+from repro.core.adwise import AdwisePartitioner
+from repro.core.spotlight import spotlight_spreads
+
+__all__ = [
+    "AdaptiveBalancer",
+    "AdwiseScoring",
+    "EdgeWindow",
+    "AdaptiveWindowController",
+    "WindowDecision",
+    "AdwisePartitioner",
+    "spotlight_spreads",
+]

@@ -1,0 +1,169 @@
+"""The ADWISE partitioner: Algorithm 1 of the paper, fully assembled.
+
+Wires together the four mechanisms:
+
+* the :class:`~repro.core.window.EdgeWindow` (edge universe of ``w`` edges,
+  with lazy candidate traversal),
+* the :class:`~repro.core.adaptive.AdaptiveWindowController` (grow / keep /
+  shrink on conditions C1 and C2 against the latency preference ``L``),
+* the :class:`~repro.core.scoring.AdwiseScoring` function
+  ``g(e,p) = λ(ι,α)·B(p) + R(e,p) + CS(e,p)``,
+* spotlight support by construction: the partitioner only ever fills the
+  partitions of its :class:`~repro.partitioning.state.PartitionState`.
+
+Main loop (Algorithm 1): refill the window to ``w`` edges from the stream,
+pop the best (edge, partition) pair, assign it, adapt λ and (every ``w``
+assignments) the window size.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro.graph.graph import Edge
+from repro.graph.stream import EdgeStream
+from repro.core.adaptive import (
+    AdaptiveWindowController,
+    FixedWindowController,
+)
+from repro.core.scoring import AdaptiveBalancer, AdwiseScoring
+from repro.core.window import EdgeWindow
+from repro.partitioning.base import PartitionResult, StreamingPartitioner
+from repro.partitioning.state import PartitionState
+from repro.simtime import Clock
+
+
+class AdwisePartitioner(StreamingPartitioner):
+    """Adaptive window-based streaming edge partitioner.
+
+    Parameters
+    ----------
+    partitions:
+        Partition ids this instance fills (its spotlight spread).
+    latency_preference_ms:
+        The latency preference ``L``.  ``None`` lets the window grow while
+        quality improves; ``0`` forces single-edge behaviour.
+    use_clustering:
+        Enable the clustering score CS (disable on weakly clustered graphs,
+        as the paper does for Orkut).
+    lazy:
+        Enable lazy window traversal (candidate/secondary sets).
+    fixed_window:
+        If set, disables adaptation and pins ``w`` (ablation mode).
+    epsilon:
+        ε of the candidate threshold ``Θ = g_avg + ε``.
+    initial_lambda:
+        Starting value of the adaptive balancing weight λ.
+    max_window:
+        Upper bound on ``w`` (memory guard).
+    """
+
+    name = "ADWISE"
+
+    def __init__(self, partitions: Sequence[int],
+                 latency_preference_ms: Optional[float] = None,
+                 clock: Optional[Clock] = None,
+                 state: Optional[PartitionState] = None,
+                 use_clustering: bool = True,
+                 lazy: bool = True,
+                 fixed_window: Optional[int] = None,
+                 epsilon: float = 0.1,
+                 initial_lambda: float = 1.0,
+                 adaptive_lambda: bool = True,
+                 min_window: int = 1,
+                 max_window: int = 16384,
+                 max_candidates: int = 64) -> None:
+        super().__init__(partitions, clock=clock, state=state)
+        self.latency_preference_ms = latency_preference_ms
+        self.use_clustering = use_clustering
+        self.lazy = lazy
+        self.fixed_window = fixed_window
+        self.epsilon = epsilon
+        self.initial_lambda = initial_lambda
+        self.adaptive_lambda = adaptive_lambda
+        self.min_window = min_window
+        self.max_window = max_window
+        self.max_candidates = max_candidates
+        self.controller = None  # populated per stream
+        self.scoring: Optional[AdwiseScoring] = None
+
+    # ------------------------------------------------------------------
+    # StreamingPartitioner contract
+    # ------------------------------------------------------------------
+    def select_partition(self, edge: Edge) -> int:
+        """Single-edge fallback (used only if someone drives edge-by-edge)."""
+        scoring = self._make_scoring(total_edges=0)
+        best_partition = self.partitions[0]
+        best_score = float("-inf")
+        for partition in self.partitions:
+            s = scoring.score(edge, partition, ())
+            if s > best_score:
+                best_score = s
+                best_partition = partition
+        return best_partition
+
+    def _make_scoring(self, total_edges: int) -> AdwiseScoring:
+        balancer = (AdaptiveBalancer(total_edges, self.initial_lambda)
+                    if self.adaptive_lambda else None)
+        return AdwiseScoring(
+            self.state,
+            balancer=balancer,
+            use_clustering=self.use_clustering,
+            fixed_lambda=self.initial_lambda,
+            clock=self.clock,
+        )
+
+    def partition_stream(self, stream: EdgeStream) -> PartitionResult:
+        """Algorithm 1: window refill → best assignment → adapt."""
+        start_ms = self.clock.now()
+        total_edges = len(stream)
+        self.scoring = self._make_scoring(total_edges)
+        window = EdgeWindow(self.scoring, lazy=self.lazy,
+                            epsilon=self.epsilon,
+                            max_candidates=self.max_candidates)
+        if self.fixed_window is not None:
+            self.controller = FixedWindowController(self.fixed_window)
+        else:
+            self.controller = AdaptiveWindowController(
+                self.latency_preference_ms,
+                total_edges=total_edges,
+                start_ms=start_ms,
+                min_window=self.min_window,
+                max_window=self.max_window,
+            )
+        assignments: Dict[Edge, int] = {}
+        source = iter(stream)
+        exhausted = False
+        while True:
+            # Refill the window up to the current target size w.
+            while not exhausted and len(window) < self.controller.window_size:
+                try:
+                    edge = next(source).canonical()
+                except StopIteration:
+                    exhausted = True
+                    break
+                self.state.observe_degrees(edge)
+                window.add(edge)
+            if len(window) == 0:
+                if exhausted:
+                    break
+                continue
+            edge, partition, score = window.pop_best()
+            changed = self.state.assign(edge, partition)
+            self.clock.charge_assignment()
+            assignments[edge] = partition
+            self.scoring.after_assignment()
+            window.on_replicas_changed(changed)
+            self.controller.record(score, self.clock.now())
+        result = PartitionResult(
+            algorithm=self.name,
+            state=self.state,
+            assignments=assignments,
+            latency_ms=self.clock.now() - start_ms,
+            score_computations=getattr(self.clock, "score_computations", 0),
+        )
+        result.extras["max_window"] = float(self.controller.max_window_reached)
+        result.extras["final_window"] = float(self.controller.window_size)
+        if self.scoring.balancer is not None:
+            result.extras["final_lambda"] = self.scoring.balancer.value
+        return result

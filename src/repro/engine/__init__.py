@@ -1,0 +1,25 @@
+"""Distributed graph-processing engine simulator.
+
+A deterministic stand-in for the GrapH/PowerGraph-style engine the paper
+runs on its 8-node cluster.  Vertex programs execute Pregel-style supersteps
+on the logical graph (results are exact); *latency* is simulated from the
+placement: per-superstep time is the maximum over machines of local compute
+plus replica-synchronisation communication, so partitioning quality
+(replication degree, balance) maps onto processing latency through exactly
+the mechanism the paper describes.
+"""
+
+from repro.engine.placement import Placement
+from repro.engine.cost import CostModel, SuperstepCost
+from repro.engine.runtime import Engine, SimulationReport
+from repro.engine.vertex_program import Context, VertexProgram
+
+__all__ = [
+    "Placement",
+    "CostModel",
+    "SuperstepCost",
+    "Engine",
+    "SimulationReport",
+    "Context",
+    "VertexProgram",
+]

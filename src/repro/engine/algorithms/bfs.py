@@ -1,0 +1,63 @@
+"""Breadth-first search with parent pointers.
+
+Like SSSP but additionally records each vertex's BFS parent, giving a
+shortest-path tree — the building block for reachability queries and
+diameter estimation on the engine.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Tuple
+
+from repro.engine.vertex_program import Context, VertexProgram
+
+# Message: (sender, distance offered)
+_Message = Tuple[int, float]
+
+
+class BreadthFirstSearch(VertexProgram):
+    """State is ``(distance, parent)``; parent is None for source/unreached."""
+
+    name = "bfs"
+
+    def __init__(self, source: int) -> None:
+        self.source = source
+
+    def initial_state(self, vertex: int,
+                      degree: int) -> Tuple[float, Optional[int]]:
+        if vertex == self.source:
+            return (0.0, None)
+        return (math.inf, None)
+
+    def compute(self, vertex: int, state: Tuple[float, Optional[int]],
+                messages: List[_Message], neighbors: List[int],
+                ctx: Context) -> Tuple[float, Optional[int]]:
+        distance, parent = state
+        if ctx.superstep == 0:
+            if vertex == self.source:
+                ctx.send_all(neighbors, (vertex, 1.0))
+            ctx.vote_halt()
+            return state
+        best = None
+        for sender, offered in messages:
+            if best is None or offered < best[1]:
+                best = (sender, offered)
+        if best is not None and best[1] < distance:
+            distance, parent = best[1], best[0]
+            ctx.send_all(neighbors, (vertex, distance + 1.0))
+        ctx.vote_halt()
+        return (distance, parent)
+
+    @staticmethod
+    def path_to(states, vertex: int) -> List[int]:
+        """Reconstruct the path source -> vertex from a finished report."""
+        distance, parent = states[vertex]
+        if math.isinf(distance):
+            return []
+        path = [vertex]
+        while parent is not None:
+            path.append(parent)
+            _, parent = states[parent]
+        path.reverse()
+        return path

@@ -1,0 +1,28 @@
+"""Connected components via min-label propagation (HashMin)."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.engine.vertex_program import Context, VertexProgram
+
+
+class ConnectedComponents(VertexProgram):
+    """State is the smallest vertex id seen in the component so far."""
+
+    name = "components"
+
+    def initial_state(self, vertex: int, degree: int) -> int:
+        return vertex
+
+    def compute(self, vertex: int, state: int, messages: List[int],
+                neighbors: List[int], ctx: Context) -> int:
+        candidate = min(messages) if messages else state
+        if ctx.superstep == 0:
+            ctx.send_all(neighbors, state)
+            return state
+        if candidate < state:
+            ctx.send_all(neighbors, candidate)
+            return candidate
+        ctx.vote_halt()
+        return state

@@ -1,0 +1,49 @@
+"""k-core decomposition by iterative peeling.
+
+A vertex belongs to the k-core if it has at least ``k`` neighbors that
+also belong.  Vertices announce when they drop out; remaining vertices
+re-evaluate their effective degree as removal messages arrive.  The final
+state is True for members of the k-core.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.engine.vertex_program import Context, VertexProgram
+
+
+class KCore(VertexProgram):
+    """State is ``(alive, removed_neighbor_count)``."""
+
+    name = "kcore"
+
+    def __init__(self, k: int) -> None:
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        self.k = k
+
+    def initial_state(self, vertex: int, degree: int) -> Tuple[bool, int]:
+        return (True, 0)
+
+    def compute(self, vertex: int, state: Tuple[bool, int],
+                messages: List[int], neighbors: List[int],
+                ctx: Context) -> Tuple[bool, int]:
+        alive, removed = state
+        if not alive:
+            ctx.vote_halt()
+            return state
+        removed += len(messages)
+        effective_degree = len(neighbors) - removed
+        if effective_degree < self.k:
+            # Drop out and notify the neighborhood exactly once.
+            ctx.send_all(neighbors, 1)
+            ctx.vote_halt()
+            return (False, removed)
+        ctx.vote_halt()
+        return (True, removed)
+
+    @staticmethod
+    def members(states) -> List[int]:
+        """Vertices in the k-core, from a finished report's states."""
+        return sorted(v for v, (alive, _) in states.items() if alive)

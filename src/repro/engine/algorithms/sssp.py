@@ -1,0 +1,35 @@
+"""Single-source shortest paths (unit edge weights, BFS-style relaxation)."""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+from repro.engine.vertex_program import Context, VertexProgram
+
+
+class SingleSourceShortestPaths(VertexProgram):
+    """State is the best-known distance from the source (inf if unreached)."""
+
+    name = "sssp"
+
+    def __init__(self, source: int) -> None:
+        self.source = source
+
+    def initial_state(self, vertex: int, degree: int) -> float:
+        return 0.0 if vertex == self.source else math.inf
+
+    def compute(self, vertex: int, state: float, messages: List[float],
+                neighbors: List[int], ctx: Context) -> float:
+        candidate = min(messages) if messages else math.inf
+        if ctx.superstep == 0:
+            if vertex == self.source:
+                ctx.send_all(neighbors, 1.0)
+            ctx.vote_halt()
+            return state
+        if candidate < state:
+            ctx.send_all(neighbors, candidate + 1.0)
+            ctx.vote_halt()
+            return candidate
+        ctx.vote_halt()
+        return state

@@ -1,0 +1,164 @@
+"""Placement: how a vertex-cut partitioning maps onto worker machines.
+
+Derived from an edge → partition assignment plus a partition → machine map
+(by default ``k`` partitions are distributed in contiguous blocks over ``z``
+machines, mirroring the paper's setup of 8 machines × 4 partitions).  The
+placement exposes the quantities the cost model needs:
+
+* edges per machine (compute load),
+* per-vertex machine span (which machines hold a replica),
+* per-machine replica-synchronisation message counts — a vertex spanning
+  ``s`` machines costs ``2·(s − 1)`` messages per superstep (gather to the
+  master, scatter back), the PowerGraph synchronisation pattern the paper's
+  replication-degree objective stands in for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Set
+
+from repro.graph.graph import Edge
+
+
+@dataclass(frozen=True)
+class PlacementStats:
+    """Aggregates the cost model consumes.
+
+    Replica synchronisation is counted at *partition* granularity — each
+    partition is a worker process holding replicas, exactly as in
+    PowerGraph/GrapH — and split into remote messages (master and mirror
+    partitions on different machines, crossing the network) and local
+    messages (same machine: no network hop, but still serialisation and
+    replica-maintenance work, so cheaper rather than free).
+    """
+
+    edges_per_machine: Dict[int, int]
+    remote_sync_per_machine: Dict[int, int]
+    local_sync_per_machine: Dict[int, int]
+    replication_degree: float
+    machine_span_degree: float
+
+    @property
+    def sync_messages_per_machine(self) -> Dict[int, int]:
+        """Total (remote + local) sync messages per machine."""
+        return {m: self.remote_sync_per_machine.get(m, 0)
+                + self.local_sync_per_machine.get(m, 0)
+                for m in self.edges_per_machine}
+
+
+class Placement:
+    """Edge-to-partition-to-machine layout of a partitioned graph."""
+
+    def __init__(self, assignments: Mapping[Edge, int],
+                 partitions: Sequence[int],
+                 num_machines: int,
+                 machine_of_partition: Optional[Mapping[int, int]] = None
+                 ) -> None:
+        if num_machines < 1:
+            raise ValueError("num_machines must be >= 1")
+        self.partitions = list(partitions)
+        self.num_machines = num_machines
+        if machine_of_partition is None:
+            machine_of_partition = self.contiguous_machine_map(
+                self.partitions, num_machines)
+        self.machine_of_partition = dict(machine_of_partition)
+        missing = [p for p in self.partitions
+                   if p not in self.machine_of_partition]
+        if missing:
+            raise ValueError(f"partitions without a machine: {missing}")
+
+        self.partition_edges: Dict[int, List[Edge]] = {
+            p: [] for p in self.partitions}
+        self.vertex_partitions: Dict[int, Set[int]] = {}
+        for edge, partition in assignments.items():
+            if partition not in self.partition_edges:
+                raise ValueError(f"assignment to unknown partition {partition}")
+            self.partition_edges[partition].append(edge)
+            for vertex in (edge.u, edge.v):
+                self.vertex_partitions.setdefault(vertex, set()).add(partition)
+
+        self.vertex_machines: Dict[int, Set[int]] = {
+            v: {self.machine_of_partition[p] for p in parts}
+            for v, parts in self.vertex_partitions.items()}
+        self.master_machine: Dict[int, int] = {
+            v: min(machines) for v, machines in self.vertex_machines.items()}
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def contiguous_machine_map(partitions: Sequence[int],
+                               num_machines: int) -> Dict[int, int]:
+        """Assign partitions to machines in contiguous, near-equal blocks.
+
+        Matches the paper's deployment: machine ``i`` hosts the ``k/z``
+        partitions its own partitioner instance (spotlight) filled.
+        """
+        k = len(partitions)
+        base, extra = divmod(k, num_machines)
+        mapping: Dict[int, int] = {}
+        index = 0
+        for machine in range(num_machines):
+            size = base + (1 if machine < extra else 0)
+            for _ in range(size):
+                if index < k:
+                    mapping[partitions[index]] = machine
+                    index += 1
+        return mapping
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def edges_on_machine(self, machine: int) -> int:
+        return sum(len(self.partition_edges[p])
+                   for p in self.partitions
+                   if self.machine_of_partition[p] == machine)
+
+    def span(self, vertex: int) -> int:
+        """Number of machines holding a replica of ``vertex``."""
+        return len(self.vertex_machines.get(vertex, ()))
+
+    def stats(self) -> PlacementStats:
+        """Precompute the per-machine aggregates for the cost model.
+
+        A vertex replicated on ``s`` partitions costs ``2·(s − 1)`` message
+        pairs per superstep: the master partition (its lowest partition id)
+        exchanges one gather and one scatter message with each mirror
+        partition.  Each message charges both endpoint machines; it counts
+        as *remote* when master and mirror live on different machines and
+        *local* otherwise.
+        """
+        edges_per_machine = {m: 0 for m in range(self.num_machines)}
+        for partition, edges in self.partition_edges.items():
+            edges_per_machine[self.machine_of_partition[partition]] += len(edges)
+        remote = {m: 0 for m in range(self.num_machines)}
+        local = {m: 0 for m in range(self.num_machines)}
+        for vertex, parts in self.vertex_partitions.items():
+            if len(parts) <= 1:
+                continue
+            master_part = min(parts)
+            master_machine = self.machine_of_partition[master_part]
+            for partition in parts:
+                if partition == master_part:
+                    continue
+                mirror_machine = self.machine_of_partition[partition]
+                if mirror_machine == master_machine:
+                    # Gather + scatter, both on one machine.
+                    local[master_machine] += 2
+                    local[mirror_machine] += 2
+                else:
+                    remote[master_machine] += 2
+                    remote[mirror_machine] += 2
+        num_vertices = max(1, len(self.vertex_partitions))
+        replication = (sum(len(p) for p in self.vertex_partitions.values())
+                       / num_vertices)
+        machine_span = (sum(len(m) for m in self.vertex_machines.values())
+                        / num_vertices)
+        return PlacementStats(
+            edges_per_machine=edges_per_machine,
+            remote_sync_per_machine=remote,
+            local_sync_per_machine=local,
+            replication_degree=replication,
+            machine_span_degree=machine_span,
+        )

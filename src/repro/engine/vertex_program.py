@@ -1,0 +1,103 @@
+"""Vertex-program API (Pregel-style "think like a vertex").
+
+A :class:`VertexProgram` defines per-vertex state and a ``compute`` step
+invoked once per superstep for every active vertex.  Vertices communicate
+by sending messages along edges; a vertex stays active while it sends or
+receives messages (or until it halts).  The engine executes programs on the
+logical graph, so algorithm results are exact regardless of partitioning —
+the partitioning only affects the simulated latency.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Tuple
+
+
+class Context:
+    """Per-superstep facilities handed to ``compute``."""
+
+    def __init__(self, superstep: int, num_vertices: int) -> None:
+        self.superstep = superstep
+        self.num_vertices = num_vertices
+        self._outbox: List[Tuple[int, Any]] = []
+        self._halted = False
+
+    def send(self, target: int, message: Any) -> None:
+        """Send ``message`` to ``target`` for delivery next superstep."""
+        self._outbox.append((target, message))
+
+    def send_all(self, targets: Iterable[int], message: Any) -> None:
+        for target in targets:
+            self.send(target, message)
+
+    def vote_halt(self) -> None:
+        """Deactivate this vertex until a message wakes it."""
+        self._halted = True
+
+    @property
+    def outbox(self) -> List[Tuple[int, Any]]:
+        return self._outbox
+
+    @property
+    def halted(self) -> bool:
+        return self._halted
+
+
+class VertexProgram:
+    """Base class for vertex-centric algorithms.
+
+    Subclasses implement :meth:`initial_state` and :meth:`compute`; the
+    engine owns iteration and message routing.
+    """
+
+    #: Name used by cost-model presets and reports.
+    name = "abstract"
+
+    def initial_state(self, vertex: int, degree: int) -> Any:
+        """State of ``vertex`` before superstep 0."""
+        raise NotImplementedError
+
+    def compute(self, vertex: int, state: Any, messages: List[Any],
+                neighbors: List[int], ctx: Context) -> Any:
+        """One superstep for ``vertex``; return the new state.
+
+        ``messages`` are those sent to this vertex in the previous
+        superstep; ``neighbors`` is the vertex's adjacency list.  Use
+        ``ctx.send`` / ``ctx.vote_halt`` for control.
+        """
+        raise NotImplementedError
+
+    def is_stationary(self) -> bool:
+        """True if every superstep activates (nearly) all vertices.
+
+        Stationary programs admit the analytic latency shortcut
+        (:meth:`repro.engine.cost.CostModel.iterations_cost_ms`).
+        """
+        return False
+
+    # ------------------------------------------------------------------
+    # Optional hooks
+    # ------------------------------------------------------------------
+    def combine(self, accumulated: Any, message: Any) -> Any:
+        """Optional message combiner (Pregel-style).
+
+        When overridden (returning anything but ``NotImplemented``), the
+        engine folds all messages addressed to one vertex into a single
+        value instead of queueing a list — e.g. PageRank sums its float
+        contributions.  ``compute`` then receives a one-element message
+        list containing the combined value.
+        """
+        return NotImplemented
+
+    def aggregate(self, vertex: int, state: Any) -> Any:
+        """Optional per-vertex contribution to a global aggregate.
+
+        After every superstep the engine sums the non-``None``
+        contributions of all computed vertices and records the total in
+        the report (and feeds it to :meth:`should_stop`).
+        """
+        return None
+
+    def should_stop(self, aggregate: Any, superstep: int) -> bool:
+        """Optional global convergence test, given the superstep aggregate."""
+        return False

@@ -1,0 +1,55 @@
+"""Graph substrate: data structures, IO, edge streams, generators, statistics."""
+
+from repro.graph.graph import Edge, Graph
+from repro.graph.stream import (
+    EdgeStream,
+    FileEdgeStream,
+    InMemoryEdgeStream,
+    chunk_stream,
+    locally_shuffled,
+    shuffled,
+)
+from repro.graph.generators import (
+    barabasi_albert_graph,
+    brain_like_graph,
+    community_powerlaw_graph,
+    orkut_like_graph,
+    powerlaw_cluster_graph,
+    rmat_graph,
+    watts_strogatz_graph,
+    web_like_graph,
+)
+from repro.graph.metis import read_metis, write_metis
+from repro.graph.stats import (
+    average_clustering,
+    degree_histogram,
+    degrees,
+    GraphSummary,
+    summarize,
+)
+
+__all__ = [
+    "Edge",
+    "Graph",
+    "EdgeStream",
+    "FileEdgeStream",
+    "InMemoryEdgeStream",
+    "chunk_stream",
+    "locally_shuffled",
+    "shuffled",
+    "read_metis",
+    "write_metis",
+    "barabasi_albert_graph",
+    "brain_like_graph",
+    "community_powerlaw_graph",
+    "orkut_like_graph",
+    "powerlaw_cluster_graph",
+    "rmat_graph",
+    "watts_strogatz_graph",
+    "web_like_graph",
+    "average_clustering",
+    "degree_histogram",
+    "degrees",
+    "GraphSummary",
+    "summarize",
+]

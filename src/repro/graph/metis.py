@@ -1,0 +1,74 @@
+"""METIS adjacency-list format support.
+
+METIS files are the lingua franca of the (edge-cut) partitioning world and
+a common interchange format for graph corpora: a header line
+``num_vertices num_edges`` followed by one line per vertex listing its
+(1-indexed) neighbors.  Reading and writing this format lets the library
+exchange graphs with METIS/ParMETIS tooling and load published corpora.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List
+
+from repro.graph.graph import Graph
+
+_COMMENT = "%"
+
+
+def write_metis(path: "str | os.PathLike", graph: Graph) -> int:
+    """Write ``graph`` in METIS format; return the vertex count.
+
+    METIS requires contiguous 1-indexed vertices, so vertices are
+    renumbered by sorted order; the mapping is deterministic (sorted ids).
+    """
+    vertices = sorted(graph.vertices())
+    index = {v: i + 1 for i, v in enumerate(vertices)}
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(f"{len(vertices)} {graph.num_edges}\n")
+        for v in vertices:
+            nbrs = sorted(index[n] for n in graph.neighbors(v))
+            handle.write(" ".join(str(n) for n in nbrs) + "\n")
+    return len(vertices)
+
+
+def read_metis(path: "str | os.PathLike") -> Graph:
+    """Read a METIS adjacency file into a :class:`Graph` (0-indexed)."""
+    graph = Graph()
+    with open(path, "r", encoding="utf-8") as handle:
+        raw = handle.readlines()
+    # Comments are dropped; blank lines are kept — an isolated vertex's
+    # adjacency line is legitimately empty.
+    lines = [line for line in raw
+             if not line.lstrip().startswith(_COMMENT)]
+    while lines and not lines[0].strip():
+        lines.pop(0)
+    if not lines:
+        raise ValueError(f"empty METIS file: {os.fspath(path)!r}")
+    header = lines[0].split()
+    if len(header) < 2:
+        raise ValueError(f"malformed METIS header: {lines[0]!r}")
+    num_vertices, num_edges = int(header[0]), int(header[1])
+    body = lines[1:]
+    if len(body) < num_vertices or any(
+            line.strip() for line in body[num_vertices:]):
+        raise ValueError(
+            f"METIS header promises {num_vertices} vertices, "
+            f"file has {sum(1 for _ in body)} adjacency lines")
+    body = body[:num_vertices]
+    for zero_based, line in enumerate(body):
+        graph.add_vertex(zero_based)
+        for token in line.split():
+            neighbor = int(token) - 1
+            if not 0 <= neighbor < num_vertices:
+                raise ValueError(
+                    f"neighbor {token} out of range on line "
+                    f"{zero_based + 2}")
+            if neighbor != zero_based:
+                graph.add_edge(zero_based, neighbor)
+    if graph.num_edges != num_edges:
+        raise ValueError(
+            f"METIS header promises {num_edges} edges, "
+            f"adjacency lists encode {graph.num_edges}")
+    return graph

@@ -1,0 +1,61 @@
+"""Vertex-cut streaming partitioning framework and baseline algorithms."""
+
+from repro.partitioning.state import PartitionState
+from repro.partitioning.base import PartitionResult, StreamingPartitioner
+from repro.partitioning.metrics import (
+    balance_ratio,
+    imbalance,
+    merge_replica_sets,
+    partition_sizes,
+    replication_degree,
+)
+from repro.partitioning.hashing import HashPartitioner
+from repro.partitioning.grid import GridPartitioner
+from repro.partitioning.dbh import DBHPartitioner
+from repro.partitioning.hdrf import HDRFPartitioner
+from repro.partitioning.greedy import GreedyPartitioner
+from repro.partitioning.onedim import OneDimPartitioner, TwoDimPartitioner
+from repro.partitioning.ne import NEPartitioner
+from repro.partitioning.jabeja import JaBeJaVCPartitioner
+from repro.partitioning.powerlyra import PowerLyraPartitioner
+from repro.partitioning.parallel import ParallelLoader, ParallelResult
+from repro.partitioning.restream import RestreamingDriver
+from repro.partitioning.hovercut import HoverCutPartitioner
+from repro.partitioning.validate import ValidationReport, validate_result
+from repro.partitioning.partition_io import (
+    load_result,
+    read_assignments,
+    save_result,
+    write_assignments,
+)
+
+__all__ = [
+    "PartitionState",
+    "PartitionResult",
+    "StreamingPartitioner",
+    "balance_ratio",
+    "imbalance",
+    "merge_replica_sets",
+    "partition_sizes",
+    "replication_degree",
+    "HashPartitioner",
+    "GridPartitioner",
+    "DBHPartitioner",
+    "HDRFPartitioner",
+    "GreedyPartitioner",
+    "OneDimPartitioner",
+    "TwoDimPartitioner",
+    "NEPartitioner",
+    "JaBeJaVCPartitioner",
+    "PowerLyraPartitioner",
+    "ParallelLoader",
+    "ParallelResult",
+    "RestreamingDriver",
+    "HoverCutPartitioner",
+    "ValidationReport",
+    "validate_result",
+    "load_result",
+    "read_assignments",
+    "save_result",
+    "write_assignments",
+]

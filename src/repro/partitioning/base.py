@@ -1,0 +1,111 @@
+"""Base classes for streaming vertex-cut partitioners.
+
+Every algorithm — the single-edge baselines and ADWISE — implements
+:class:`StreamingPartitioner`: a single pass over an edge stream, one
+assignment per edge, all bookkeeping through a :class:`PartitionState`.
+Latency is accounted on an injected :class:`~repro.simtime.Clock` so that
+the "partitioning latency" axis of every experiment is deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.graph.graph import Edge
+from repro.graph.stream import EdgeStream
+from repro.partitioning.state import PartitionState
+from repro.simtime import Clock, SimulatedClock
+
+
+@dataclass
+class PartitionResult:
+    """Outcome of one partitioning run.
+
+    Attributes
+    ----------
+    algorithm:
+        Name of the partitioner that produced this result.
+    state:
+        Final :class:`PartitionState` (vertex cache, partition sizes).
+    assignments:
+        Edge → partition mapping, in assignment order.
+    latency_ms:
+        Partitioning latency charged on the clock.
+    score_computations:
+        Number of score computations performed (the paper's complexity unit).
+    """
+
+    algorithm: str
+    state: PartitionState
+    assignments: Dict[Edge, int]
+    latency_ms: float
+    score_computations: int = 0
+    extras: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def replication_degree(self) -> float:
+        return self.state.replication_degree()
+
+    @property
+    def imbalance(self) -> float:
+        return self.state.imbalance()
+
+    def partition_of(self, edge: Edge) -> int:
+        """Partition the canonical form of ``edge`` was assigned to."""
+        return self.assignments[edge.canonical()]
+
+
+class StreamingPartitioner:
+    """A single-pass streaming vertex-cut partitioner.
+
+    Subclasses implement :meth:`select_partition` (the scoring decision for
+    one edge).  Window-based algorithms override :meth:`partition_stream`
+    wholesale since their control flow differs.
+    """
+
+    name = "abstract"
+
+    def __init__(self, partitions: Sequence[int],
+                 clock: Optional[Clock] = None,
+                 state: Optional[PartitionState] = None) -> None:
+        self.state = state if state is not None else PartitionState(partitions)
+        self.clock = clock if clock is not None else SimulatedClock()
+
+    @property
+    def partitions(self) -> List[int]:
+        return self.state.partitions
+
+    # ------------------------------------------------------------------
+    # To be provided by subclasses
+    # ------------------------------------------------------------------
+    def select_partition(self, edge: Edge) -> int:
+        """Choose the partition for ``edge`` given the current state."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Driver
+    # ------------------------------------------------------------------
+    def partition_edge(self, edge: Edge) -> int:
+        """Observe, score and assign a single edge; return its partition."""
+        edge = edge.canonical()
+        self.state.observe_degrees(edge)
+        partition = self.select_partition(edge)
+        self.state.assign(edge, partition)
+        self.clock.charge_assignment()
+        return partition
+
+    def partition_stream(self, stream: EdgeStream) -> PartitionResult:
+        """Partition the whole stream; single-edge streaming main loop."""
+        start = self.clock.now()
+        assignments: Dict[Edge, int] = {}
+        for edge in stream:
+            canon = edge.canonical()
+            assignments[canon] = self.partition_edge(canon)
+        return PartitionResult(
+            algorithm=self.name,
+            state=self.state,
+            assignments=assignments,
+            latency_ms=self.clock.now() - start,
+            score_computations=getattr(self.clock, "score_computations", 0),
+        )

@@ -1,0 +1,78 @@
+"""Partitioning quality metrics.
+
+Implements the objective and constraint of the paper's problem statement:
+replication degree (Eq. 1) and edge balance (Eq. 2), plus helpers for the
+parallel-loading analysis where per-instance results must be merged.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Set
+
+from repro.graph.graph import Edge
+
+
+def replica_sets_from_assignments(
+        assignments: Mapping[Edge, int]) -> Dict[int, Set[int]]:
+    """Reconstruct replica sets ``R_v`` from an edge → partition mapping."""
+    replicas: Dict[int, Set[int]] = {}
+    for edge, partition in assignments.items():
+        replicas.setdefault(edge.u, set()).add(partition)
+        replicas.setdefault(edge.v, set()).add(partition)
+    return replicas
+
+
+def merge_replica_sets(
+        parts: Iterable[Mapping[int, Set[int]]]) -> Dict[int, Set[int]]:
+    """Union replica sets from several partitioner instances."""
+    merged: Dict[int, Set[int]] = {}
+    for mapping in parts:
+        for vertex, reps in mapping.items():
+            merged.setdefault(vertex, set()).update(reps)
+    return merged
+
+
+def replication_degree(replicas: Mapping[int, Set[int]]) -> float:
+    """Average replica-set size ``(1/|V|) Σ |R_v|`` (Eq. 1)."""
+    if not replicas:
+        return 0.0
+    return sum(len(r) for r in replicas.values()) / len(replicas)
+
+
+def partition_sizes(assignments: Mapping[Edge, int],
+                    partitions: Iterable[int]) -> Dict[int, int]:
+    """Edge counts per partition, including empty partitions."""
+    sizes = {p: 0 for p in partitions}
+    for partition in assignments.values():
+        sizes[partition] = sizes.get(partition, 0) + 1
+    return sizes
+
+
+def balance_ratio(sizes: Mapping[int, int]) -> float:
+    """``minsize / maxsize`` — must exceed τ per the constraint in Eq. 2."""
+    if not sizes:
+        return 1.0
+    max_size = max(sizes.values())
+    if max_size == 0:
+        return 1.0
+    return min(sizes.values()) / max_size
+
+
+def imbalance(sizes: Mapping[int, int]) -> float:
+    """``(maxsize − minsize) / maxsize`` — the paper's Fig. 7 balance check."""
+    if not sizes:
+        return 0.0
+    max_size = max(sizes.values())
+    if max_size == 0:
+        return 0.0
+    return (max_size - min(sizes.values())) / max_size
+
+
+def vertex_copies(replicas: Mapping[int, Set[int]]) -> int:
+    """Total number of vertex copies across all partitions."""
+    return sum(len(r) for r in replicas.values())
+
+
+def cut_vertices(replicas: Mapping[int, Set[int]]) -> List[int]:
+    """Vertices replicated on more than one partition (the vertex cut)."""
+    return [v for v, reps in replicas.items() if len(reps) > 1]

@@ -1,0 +1,53 @@
+"""1D and 2D adjacency-matrix partitioning (GraphX-style).
+
+1D partitioning assigns every edge by the hash of its *source* (here: the
+canonically smaller) vertex — each vertex's out-edges land together, so one
+endpoint never replicates but the other is arbitrary.  2D partitioning uses
+both endpoints to pick a block of the adjacency matrix, bounding replicas by
+``2√k`` like the grid scheme but without load-aware tie-breaking.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.graph.graph import Edge
+from repro.partitioning.base import StreamingPartitioner
+from repro.util import stable_hash
+
+
+class OneDimPartitioner(StreamingPartitioner):
+    """Assign edges by the hash of the canonical source vertex."""
+
+    name = "1D"
+
+    def __init__(self, partitions, clock=None, state=None, seed: int = 0) -> None:
+        super().__init__(partitions, clock=clock, state=state)
+        self._seed = seed
+
+    def select_partition(self, edge: Edge) -> int:
+        self.clock.charge_score()
+        canon = edge.canonical()
+        return self.partitions[stable_hash(canon.u, self._seed)
+                               % len(self.partitions)]
+
+
+class TwoDimPartitioner(StreamingPartitioner):
+    """Assign edges to adjacency-matrix blocks (source row, dest column)."""
+
+    name = "2D"
+
+    def __init__(self, partitions, clock=None, state=None, seed: int = 0) -> None:
+        super().__init__(partitions, clock=clock, state=state)
+        self._seed = seed
+        k = len(self.partitions)
+        self._cols = max(1, math.ceil(math.sqrt(k)))
+        self._rows = math.ceil(k / self._cols)
+
+    def select_partition(self, edge: Edge) -> int:
+        self.clock.charge_score()
+        canon = edge.canonical()
+        row = stable_hash(canon.u, self._seed) % self._rows
+        col = stable_hash(canon.v, self._seed + 1) % self._cols
+        idx = (row * self._cols + col) % len(self.partitions)
+        return self.partitions[idx]

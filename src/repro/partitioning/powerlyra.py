@@ -1,0 +1,51 @@
+"""PowerLyra-style hybrid-cut streaming partitioning (Chen et al., EuroSys'15).
+
+Differentiated treatment of high- and low-degree vertices, a prominent
+related-work baseline in the paper: edges incident to a *low-degree*
+destination vertex are hashed by that vertex (keeping a low-degree
+vertex's in-edges on a single partition, as in edge-cut), while edges
+whose destination is *high-degree* are hashed by the source (PowerGraph
+style vertex-cut for power-law hubs).
+
+In our undirected setting "destination" is the canonically larger
+endpoint.  Degrees come from the streaming partial degree table, and the
+threshold is a user parameter (the original paper's θ).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.graph.graph import Edge
+from repro.partitioning.base import StreamingPartitioner
+from repro.partitioning.state import PartitionState
+from repro.simtime import Clock
+from repro.util import stable_hash
+
+
+class PowerLyraPartitioner(StreamingPartitioner):
+    """Hybrid-cut: hash low-degree destinations, cut high-degree ones."""
+
+    name = "PowerLyra"
+
+    def __init__(self, partitions: Sequence[int],
+                 clock: Optional[Clock] = None,
+                 state: Optional[PartitionState] = None,
+                 degree_threshold: int = 16,
+                 seed: int = 0) -> None:
+        super().__init__(partitions, clock=clock, state=state)
+        if degree_threshold < 1:
+            raise ValueError("degree_threshold must be >= 1")
+        self.degree_threshold = degree_threshold
+        self._seed = seed
+
+    def select_partition(self, edge: Edge) -> int:
+        self.clock.charge_score()
+        canon = edge.canonical()
+        destination, source = canon.v, canon.u
+        if self.state.degree_of(destination) <= self.degree_threshold:
+            anchor = destination  # low-cut: group the low-degree vertex
+        else:
+            anchor = source       # high-cut: spread the hub's edges
+        digest = stable_hash(anchor, self._seed)
+        return self.partitions[digest % len(self.partitions)]

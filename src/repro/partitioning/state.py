@@ -1,0 +1,174 @@
+"""Partitioning state: the vertex cache and partition bookkeeping.
+
+The streaming partitioning model (paper §II-B, Figure 3) has three building
+blocks; this module is block (iii), the *vertex cache*: replica sets for all
+previously assigned vertices, plus the partition edge counts and the partial
+degree table that degree-aware scoring needs.  Every partitioner — baseline
+or ADWISE — mutates state exclusively through :meth:`PartitionState.assign`,
+which keeps all derived quantities (max/min partition size, max degree)
+consistent.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set
+
+from repro.graph.graph import Edge
+
+
+class PartitionState:
+    """Vertex cache + partition sizes for one partitioner instance.
+
+    Parameters
+    ----------
+    partitions:
+        The partition ids this instance may fill.  With spotlight
+        partitioning this is a strict subset of the global partition set
+        (the instance's *spread*).
+    """
+
+    def __init__(self, partitions: Sequence[int]) -> None:
+        ids = list(partitions)
+        if not ids:
+            raise ValueError("at least one partition required")
+        if len(set(ids)) != len(ids):
+            raise ValueError(f"duplicate partition ids: {ids}")
+        self._partitions: List[int] = ids
+        self.replica_sets: Dict[int, Set[int]] = {}
+        self.partition_edges: Dict[int, int] = {p: 0 for p in ids}
+        self.degree: Dict[int, int] = {}
+        self.max_degree: int = 1
+        self.assigned_edges: int = 0
+        # max/min partition sizes are read on every score computation, so
+        # they are maintained incrementally (sizes only ever grow by 1).
+        self._max_size = 0
+        self._min_size = 0
+        self._size_histogram: Dict[int, int] = {0: len(ids)}
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def partitions(self) -> List[int]:
+        """Partition ids this state may assign to (the instance's spread)."""
+        return self._partitions
+
+    @property
+    def num_partitions(self) -> int:
+        return len(self._partitions)
+
+    def replicas(self, vertex: int) -> FrozenSet[int]:
+        """Replica set ``R_v`` (empty if the vertex was never seen)."""
+        return frozenset(self.replica_sets.get(vertex, ()))
+
+    def is_replicated_on(self, vertex: int, partition: int) -> bool:
+        """Indicator ``1{p in R_v}`` from the scoring functions."""
+        reps = self.replica_sets.get(vertex)
+        return reps is not None and partition in reps
+
+    def degree_of(self, vertex: int) -> int:
+        """Observed (partial) degree of ``vertex`` so far in the stream."""
+        return self.degree.get(vertex, 0)
+
+    @property
+    def max_size(self) -> int:
+        return self._max_size
+
+    @property
+    def min_size(self) -> int:
+        return self._min_size
+
+    def size(self, partition: int) -> int:
+        return self.partition_edges[partition]
+
+    def imbalance(self) -> float:
+        """Current imbalance ι = (maxsize − minsize) / maxsize (paper §III-C)."""
+        max_size = self.max_size
+        if max_size == 0:
+            return 0.0
+        return (max_size - self.min_size) / max_size
+
+    def observe_degrees(self, edge: Edge) -> None:
+        """Update the partial degree table for an edge seen in the stream.
+
+        Degree observation is separate from assignment: window-based
+        partitioners observe an edge when it *enters the window*, before it
+        is assigned, so the scoring function sees its degrees.
+        Calling this twice for the same edge double-counts — callers ensure
+        each stream edge is observed exactly once.
+        """
+        for vertex in (edge.u, edge.v):
+            d = self.degree.get(vertex, 0) + 1
+            self.degree[vertex] = d
+            if d > self.max_degree:
+                self.max_degree = d
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def assign(self, edge: Edge, partition: int) -> List[int]:
+        """Assign ``edge`` to ``partition``; return vertices newly replicated.
+
+        The returned list (0, 1 or 2 vertices) drives the lazy-traversal
+        reassessment: secondary edges incident to a vertex whose replica set
+        changed must be rescored.
+        """
+        if partition not in self.partition_edges:
+            raise ValueError(
+                f"partition {partition} not in this instance's spread "
+                f"{self._partitions}")
+        changed: List[int] = []
+        for vertex in (edge.u, edge.v):
+            reps = self.replica_sets.setdefault(vertex, set())
+            if partition not in reps:
+                reps.add(partition)
+                changed.append(vertex)
+        old_size = self.partition_edges[partition]
+        new_size = old_size + 1
+        self.partition_edges[partition] = new_size
+        self.assigned_edges += 1
+        # Incremental histogram update keeps max/min O(1).
+        hist = self._size_histogram
+        hist[old_size] -= 1
+        if hist[old_size] == 0:
+            del hist[old_size]
+        hist[new_size] = hist.get(new_size, 0) + 1
+        if new_size > self._max_size:
+            self._max_size = new_size
+        if old_size == self._min_size and old_size not in hist:
+            # Sizes grow by exactly 1, so the new minimum is old_size + 1.
+            self._min_size = old_size + 1
+        return changed
+
+    # ------------------------------------------------------------------
+    # Aggregates
+    # ------------------------------------------------------------------
+    def total_replicas(self) -> int:
+        return sum(len(reps) for reps in self.replica_sets.values())
+
+    def replication_degree(self) -> float:
+        """Average |R_v| over vertices seen by this instance (Eq. 1)."""
+        if not self.replica_sets:
+            return 0.0
+        return self.total_replicas() / len(self.replica_sets)
+
+    def copy_degrees_from(self, other: "PartitionState") -> None:
+        """Adopt another state's degree table (restreaming support)."""
+        self.degree = dict(other.degree)
+        self.max_degree = other.max_degree
+
+
+def merged_replication_degree(states: Iterable[PartitionState]) -> float:
+    """Replication degree of the union of several instances' vertex caches.
+
+    Used by the parallel loading model: each of the ``z`` partitioners has
+    its own cache, and the *global* replica set of a vertex is the union of
+    its per-instance replica sets.
+    """
+    union: Dict[int, Set[int]] = {}
+    for state in states:
+        for vertex, reps in state.replica_sets.items():
+            union.setdefault(vertex, set()).update(reps)
+    if not union:
+        return 0.0
+    return sum(len(r) for r in union.values()) / len(union)

@@ -1,0 +1,210 @@
+"""Correctness tests for the vertex-centric workload algorithms."""
+
+import math
+
+import pytest
+
+from repro.graph.graph import Edge, Graph
+from repro.engine.placement import Placement
+from repro.engine.runtime import Engine
+from repro.engine.algorithms import (
+    CliqueSearch,
+    ConnectedComponents,
+    CycleSearch,
+    GreedyColoring,
+    PageRank,
+    SingleSourceShortestPaths,
+)
+
+
+def engine_for(graph: Graph, k: int = 4, machines: int = 2) -> Engine:
+    """All-on-one-partition placement; correctness must not depend on it."""
+    assignments = {e: hash((e.u, e.v)) % k for e in graph.edges()}
+    placement = Placement(assignments, partitions=list(range(k)),
+                          num_machines=machines)
+    return Engine(graph, placement)
+
+
+class TestPageRank:
+    def test_total_rank_conserved(self, small_powerlaw):
+        engine = engine_for(small_powerlaw)
+        report = engine.run(PageRank(iterations=10), max_supersteps=12)
+        assert sum(report.states.values()) == pytest.approx(
+            small_powerlaw.num_vertices, rel=1e-6)
+
+    def test_hub_ranks_highest_on_star(self, star):
+        engine = engine_for(star)
+        report = engine.run(PageRank(iterations=20), max_supersteps=25)
+        ranks = report.states
+        assert ranks[0] == max(ranks.values())
+
+    def test_symmetric_graph_uniform_ranks(self):
+        cycle = Graph([(i, (i + 1) % 6) for i in range(6)])
+        engine = engine_for(cycle)
+        report = engine.run(PageRank(iterations=30), max_supersteps=35)
+        values = list(report.states.values())
+        assert max(values) - min(values) < 1e-9
+
+    def test_converges_after_iterations(self, triangle):
+        engine = engine_for(triangle)
+        report = engine.run(PageRank(iterations=5), max_supersteps=10)
+        assert report.converged
+
+    def test_invalid_iterations(self):
+        with pytest.raises(ValueError):
+            PageRank(iterations=0)
+
+    def test_is_stationary(self):
+        assert PageRank().is_stationary()
+
+
+class TestColoring:
+    @pytest.mark.parametrize("fixture_name", [
+        "triangle", "star", "two_triangles", "small_clustered"])
+    def test_produces_proper_coloring(self, fixture_name, request):
+        graph = request.getfixturevalue(fixture_name)
+        engine = engine_for(graph)
+        report = engine.run(GreedyColoring(max_iterations=30),
+                            max_supersteps=32)
+        colors = report.states
+        conflicts = [e for e in graph.edges() if colors[e.u] == colors[e.v]]
+        assert conflicts == []
+
+    def test_triangle_needs_three_colors(self, triangle):
+        engine = engine_for(triangle)
+        report = engine.run(GreedyColoring(max_iterations=20),
+                            max_supersteps=22)
+        assert len(set(report.states.values())) == 3
+
+    def test_star_needs_two_colors(self, star):
+        engine = engine_for(star)
+        report = engine.run(GreedyColoring(max_iterations=20),
+                            max_supersteps=22)
+        assert len(set(report.states.values())) == 2
+
+    def test_invalid_iterations(self):
+        with pytest.raises(ValueError):
+            GreedyColoring(max_iterations=0)
+
+
+class TestComponents:
+    def test_single_component(self, small_powerlaw):
+        engine = engine_for(small_powerlaw)
+        report = engine.run(ConnectedComponents(), max_supersteps=100)
+        assert len(set(report.states.values())) == 1
+        assert report.converged
+
+    def test_two_components(self):
+        graph = Graph([(0, 1), (1, 2), (10, 11)])
+        engine = engine_for(graph)
+        report = engine.run(ConnectedComponents(), max_supersteps=20)
+        labels = report.states
+        assert labels[0] == labels[1] == labels[2] == 0
+        assert labels[10] == labels[11] == 10
+
+    def test_labels_are_component_minima(self, two_triangles):
+        engine = engine_for(two_triangles)
+        report = engine.run(ConnectedComponents(), max_supersteps=20)
+        assert set(report.states.values()) == {0}
+
+
+class TestSSSP:
+    def test_path_distances(self, path_graph):
+        engine = engine_for(path_graph)
+        report = engine.run(SingleSourceShortestPaths(source=0),
+                            max_supersteps=20)
+        assert [report.states[i] for i in range(5)] == [0, 1, 2, 3, 4]
+
+    def test_unreachable_infinite(self):
+        graph = Graph([(0, 1), (5, 6)])
+        engine = engine_for(graph)
+        report = engine.run(SingleSourceShortestPaths(source=0),
+                            max_supersteps=10)
+        assert math.isinf(report.states[5])
+
+    def test_triangle_distances(self, triangle):
+        engine = engine_for(triangle)
+        report = engine.run(SingleSourceShortestPaths(source=0),
+                            max_supersteps=10)
+        assert report.states[0] == 0
+        assert report.states[1] == 1
+        assert report.states[2] == 1
+
+
+class TestCycleSearch:
+    def test_finds_triangle(self, triangle):
+        engine = engine_for(triangle)
+        program = CycleSearch(cycle_length=3, seeds=[0], fanout=3, seed=1)
+        report = engine.run(program, max_supersteps=5)
+        assert sum(report.states.values()) >= 1
+
+    def test_no_cycles_in_tree(self, star):
+        engine = engine_for(star)
+        program = CycleSearch(cycle_length=3, seeds=[0, 1], fanout=5, seed=1)
+        report = engine.run(program, max_supersteps=6)
+        assert sum(report.states.values()) == 0
+
+    def test_finds_square(self):
+        graph = Graph([(0, 1), (1, 2), (2, 3), (3, 0)])
+        engine = engine_for(graph)
+        program = CycleSearch(cycle_length=4, seeds=[0], fanout=4, seed=1)
+        report = engine.run(program, max_supersteps=6)
+        assert sum(report.states.values()) >= 1
+
+    def test_wrong_length_not_found(self):
+        graph = Graph([(0, 1), (1, 2), (2, 3), (3, 0)])  # only a 4-cycle
+        engine = engine_for(graph)
+        program = CycleSearch(cycle_length=3, seeds=[0, 1, 2, 3],
+                              fanout=4, seed=1)
+        report = engine.run(program, max_supersteps=6)
+        assert sum(report.states.values()) == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CycleSearch(cycle_length=2, seeds=[0])
+        with pytest.raises(ValueError):
+            CycleSearch(cycle_length=5, seeds=[0], fanout=0)
+        with pytest.raises(ValueError):
+            CycleSearch(cycle_length=5, seeds=[0], forward_probability=0.0)
+
+
+class TestCliqueSearch:
+    def test_finds_triangle_clique(self, triangle):
+        engine = engine_for(triangle)
+        program = CliqueSearch(clique_size=3, seeds=[0, 1, 2],
+                               forward_probability=1.0, seed=1)
+        report = engine.run(program, max_supersteps=5)
+        assert sum(report.states.values()) >= 1
+
+    def test_finds_k4(self):
+        graph = Graph([(a, b) for a in range(4) for b in range(a + 1, 4)])
+        engine = engine_for(graph)
+        program = CliqueSearch(clique_size=4, seeds=[0, 1, 2, 3],
+                               forward_probability=1.0, fanout=4, seed=1)
+        report = engine.run(program, max_supersteps=6)
+        assert sum(report.states.values()) >= 1
+
+    def test_no_clique_in_star(self, star):
+        engine = engine_for(star)
+        program = CliqueSearch(clique_size=3, seeds=[0, 1],
+                               forward_probability=1.0, seed=1)
+        report = engine.run(program, max_supersteps=5)
+        assert sum(report.states.values()) == 0
+
+    def test_probabilistic_forwarding_bounds_messages(self, small_clustered):
+        engine = engine_for(small_clustered)
+        eager = CliqueSearch(clique_size=4, seeds=list(range(20)),
+                             forward_probability=1.0, fanout=4, seed=1)
+        lazy = CliqueSearch(clique_size=4, seeds=list(range(20)),
+                            forward_probability=0.3, fanout=4, seed=1)
+        eager_report = engine.run(eager, max_supersteps=6)
+        lazy_report = engine.run(lazy, max_supersteps=6)
+        assert lazy_report.messages_sent < eager_report.messages_sent
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CliqueSearch(clique_size=1, seeds=[0])
+        with pytest.raises(ValueError):
+            CliqueSearch(clique_size=3, seeds=[0], forward_probability=1.5)
+        with pytest.raises(ValueError):
+            CliqueSearch(clique_size=3, seeds=[0], fanout=0)

@@ -1,0 +1,71 @@
+"""Tests for experiment archiving and diffing."""
+
+import math
+
+import pytest
+
+from repro.bench.archive import (
+    diff_archives,
+    load_archive,
+    save_archive,
+)
+from repro.bench.harness import LatencyRow
+
+
+def make_row(label, part=10.0, repl=2.0, imb=0.01, blocks=(5.0,)):
+    return LatencyRow(label=label, partitioning_ms=part,
+                      block_ms=list(blocks), replication_degree=repl,
+                      imbalance=imb, score_computations=100)
+
+
+class TestRoundTrip:
+    def test_save_and_load(self, tmp_path):
+        rows = [make_row("HDRF"), make_row("ADWISE", part=40.0, repl=1.5)]
+        path = tmp_path / "exp.json"
+        save_archive(path, "fig7a", rows, metadata={"seed": 7})
+        experiment, loaded, metadata = load_archive(path)
+        assert experiment == "fig7a"
+        assert metadata == {"seed": 7}
+        assert [r.label for r in loaded] == ["HDRF", "ADWISE"]
+        assert loaded[1].partitioning_ms == 40.0
+        assert loaded[0].block_ms == [5.0]
+
+    def test_version_check(self, tmp_path):
+        path = tmp_path / "exp.json"
+        path.write_text('{"format_version": 99, "rows": []}')
+        with pytest.raises(ValueError):
+            load_archive(path)
+
+
+class TestDiff:
+    def test_no_changes_below_threshold(self):
+        a = [make_row("X", part=100.0)]
+        b = [make_row("X", part=101.0)]  # 1% < 2% threshold
+        assert diff_archives(a, b) == []
+
+    def test_detects_regression(self):
+        a = [make_row("X", repl=2.0)]
+        b = [make_row("X", repl=2.5)]
+        deltas = diff_archives(a, b)
+        assert len(deltas) == 1
+        delta = deltas[0]
+        assert delta.metric == "replication_degree"
+        assert delta.relative == pytest.approx(0.25)
+
+    def test_detects_added_and_removed_configs(self):
+        a = [make_row("old")]
+        b = [make_row("new")]
+        deltas = diff_archives(a, b)
+        metrics = {(d.label, d.metric) for d in deltas}
+        assert ("old", "presence") in metrics
+        assert ("new", "presence") in metrics
+
+    def test_presence_delta_uses_nan(self):
+        deltas = diff_archives([make_row("gone")], [])
+        assert math.isnan(deltas[0].after)
+
+    def test_custom_threshold(self):
+        a = [make_row("X", part=100.0)]
+        b = [make_row("X", part=104.0)]
+        assert diff_archives(a, b, threshold=0.05) == []
+        assert len(diff_archives(a, b, threshold=0.01)) == 1

@@ -1,0 +1,56 @@
+"""Tests for BFS with parent pointers."""
+
+import math
+
+from repro.graph.graph import Graph
+from repro.engine.placement import Placement
+from repro.engine.runtime import Engine
+from repro.engine.algorithms import BreadthFirstSearch
+
+
+def engine_for(graph, k=4):
+    assignments = {e: hash((e.u, e.v)) % k for e in graph.edges()}
+    placement = Placement(assignments, partitions=list(range(k)),
+                          num_machines=2)
+    return Engine(graph, placement)
+
+
+class TestBFS:
+    def test_distances_on_path(self, path_graph):
+        report = engine_for(path_graph).run(BreadthFirstSearch(0),
+                                            max_supersteps=10)
+        for v in range(5):
+            distance, _ = report.states[v]
+            assert distance == v
+
+    def test_parent_pointers_form_tree(self, two_triangles):
+        report = engine_for(two_triangles).run(BreadthFirstSearch(1),
+                                               max_supersteps=10)
+        for vertex, (distance, parent) in report.states.items():
+            if vertex == 1:
+                assert parent is None
+                continue
+            assert parent is not None
+            parent_distance, _ = report.states[parent]
+            assert parent_distance == distance - 1
+
+    def test_path_reconstruction(self, path_graph):
+        report = engine_for(path_graph).run(BreadthFirstSearch(0),
+                                            max_supersteps=10)
+        assert BreadthFirstSearch.path_to(report.states, 4) == [0, 1, 2, 3, 4]
+        assert BreadthFirstSearch.path_to(report.states, 0) == [0]
+
+    def test_unreachable_vertex(self):
+        graph = Graph([(0, 1), (5, 6)])
+        report = engine_for(graph).run(BreadthFirstSearch(0),
+                                       max_supersteps=10)
+        distance, parent = report.states[5]
+        assert math.isinf(distance)
+        assert BreadthFirstSearch.path_to(report.states, 5) == []
+
+    def test_shortest_over_alternative_routes(self):
+        # Square plus a chord: 0-1-2 vs 0-3-2; with chord 0-2 direct.
+        graph = Graph([(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)])
+        report = engine_for(graph).run(BreadthFirstSearch(0),
+                                       max_supersteps=10)
+        assert report.states[2][0] == 1  # direct chord wins

@@ -1,0 +1,68 @@
+"""Tests for ASCII chart rendering."""
+
+from repro.bench.charts import grouped_bar_chart, line_chart, stacked_bar_chart
+from repro.bench.harness import LatencyRow
+
+
+def make_row(label, part, blocks):
+    return LatencyRow(label=label, partitioning_ms=part,
+                      block_ms=list(blocks), replication_degree=1.0,
+                      imbalance=0.0, score_computations=0)
+
+
+class TestStackedBars:
+    def test_renders_all_rows(self):
+        rows = [make_row("A", 10, [50, 50]), make_row("B", 30, [30, 30])]
+        chart = stacked_bar_chart(rows, width=40, num_blocks=2)
+        assert "A" in chart and "B" in chart
+        assert "legend" in chart
+
+    def test_segments_use_distinct_glyphs(self):
+        rows = [make_row("A", 30, [30, 30])]
+        chart = stacked_bar_chart(rows, width=30, num_blocks=2)
+        bar_line = [l for l in chart.splitlines() if l.startswith("A")][0]
+        assert "#" in bar_line and "*" in bar_line and "+" in bar_line
+
+    def test_bar_lengths_proportional(self):
+        rows = [make_row("big", 100, [0]), make_row("small", 50, [0])]
+        chart = stacked_bar_chart(rows, width=40, num_blocks=1)
+        lines = {l.split()[0]: l for l in chart.splitlines()
+                 if l.startswith(("big", "small"))}
+        assert lines["big"].count("#") > lines["small"].count("#")
+
+    def test_empty_rows(self):
+        assert stacked_bar_chart([], title="T") == "T"
+
+    def test_title(self):
+        chart = stacked_bar_chart([make_row("A", 1, [1])], title="Fig 7")
+        assert chart.startswith("Fig 7")
+
+
+class TestGroupedBars:
+    def test_renders_series(self):
+        series = {"HDRF": {4: 2.0, 32: 6.0}, "DBH": {4: 3.0, 32: 9.0}}
+        chart = grouped_bar_chart(series, width=30)
+        assert "HDRF:" in chart and "DBH:" in chart
+        assert "spread=4" in chart and "spread=32" in chart
+
+    def test_scaling_to_max(self):
+        chart = grouped_bar_chart({"A": {1: 10.0, 2: 5.0}}, width=20)
+        lines = [l for l in chart.splitlines() if "|" in l]
+        assert lines[0].count("#") > lines[1].count("#")
+
+    def test_empty(self):
+        assert grouped_bar_chart({}, title="T") == "T"
+
+
+class TestLineChart:
+    def test_renders_points(self):
+        chart = line_chart({0: 1.0, 50: 8.0, 100: 64.0}, width=30, height=8)
+        assert chart.count("o") == 3
+        assert "x: 0 .. 100" in chart
+
+    def test_single_point(self):
+        chart = line_chart({5: 5.0})
+        assert "o" in chart
+
+    def test_empty(self):
+        assert line_chart({}, title="T") == "T"

@@ -1,0 +1,82 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.graph.generators import barabasi_albert_graph
+from repro.graph.io import write_graph
+
+
+@pytest.fixture
+def graph_file(tmp_path):
+    path = tmp_path / "graph.txt"
+    write_graph(path, barabasi_albert_graph(120, 3, seed=1))
+    return str(path)
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_partition_defaults(self):
+        args = build_parser().parse_args(["partition", "g.txt"])
+        assert args.algorithm == "adwise"
+        assert args.partitions == 32
+        assert args.latency_preference is None
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["partition", "g.txt", "--algorithm", "magic"])
+
+
+class TestPartitionCommand:
+    @pytest.mark.parametrize("algorithm",
+                             ["hash", "grid", "dbh", "hdrf", "greedy",
+                              "adwise"])
+    def test_each_algorithm_runs(self, graph_file, capsys, algorithm):
+        code = main(["partition", graph_file, "--algorithm", algorithm,
+                     "--partitions", "4"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "replication degree:" in out
+        assert "imbalance:" in out
+
+    def test_adwise_latency_preference(self, graph_file, capsys):
+        code = main(["partition", graph_file, "--latency-preference", "20",
+                     "--partitions", "4"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "max_window" in out
+
+    def test_no_clustering_flag(self, graph_file, capsys):
+        code = main(["partition", graph_file, "--no-clustering",
+                     "--partitions", "4"])
+        assert code == 0
+
+    def test_output_file_written(self, graph_file, tmp_path, capsys):
+        out_path = tmp_path / "assignments.txt"
+        code = main(["partition", graph_file, "--partitions", "4",
+                     "--output", str(out_path)])
+        assert code == 0
+        lines = out_path.read_text().strip().splitlines()
+        assert lines
+        for line in lines:
+            u, v, p = line.split()
+            assert 0 <= int(p) < 4
+
+    def test_wall_clock_mode(self, graph_file, capsys):
+        code = main(["partition", graph_file, "--wall-clock",
+                     "--partitions", "4", "--algorithm", "hdrf"])
+        assert code == 0
+        assert "(wall)" in capsys.readouterr().out
+
+
+class TestStatsCommand:
+    def test_prints_summary_row(self, graph_file, capsys):
+        code = main(["stats", graph_file])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "c-hat" in out
+        assert "120" in out

@@ -1,0 +1,165 @@
+"""Tests for engine extensions: combiners, aggregators, new algorithms."""
+
+import pytest
+
+from repro.graph.graph import Edge, Graph
+from repro.engine.placement import Placement
+from repro.engine.runtime import Engine
+from repro.engine.vertex_program import Context, VertexProgram
+from repro.engine.algorithms import (
+    KCore,
+    LabelPropagation,
+    PageRank,
+    TriangleCount,
+)
+
+
+def engine_for(graph: Graph, k: int = 4, machines: int = 2) -> Engine:
+    assignments = {e: hash((e.u, e.v)) % k for e in graph.edges()}
+    placement = Placement(assignments, partitions=list(range(k)),
+                          num_machines=machines)
+    return Engine(graph, placement)
+
+
+class TestCombiner:
+    def test_pagerank_combiner_reduces_inbox_not_result(self, small_powerlaw):
+        """Combined messages must not change PageRank's fixed point."""
+
+        class UncombinedPageRank(PageRank):
+            combine = VertexProgram.combine  # opt back out
+
+        engine = engine_for(small_powerlaw)
+        combined = engine.run(PageRank(iterations=10), max_supersteps=12)
+        plain = engine.run(UncombinedPageRank(iterations=10),
+                           max_supersteps=12)
+        for vertex, rank in combined.states.items():
+            assert rank == pytest.approx(plain.states[vertex], rel=1e-9)
+
+    def test_combiner_collapses_messages(self, triangle):
+        """With a sum combiner each vertex gets exactly one message."""
+        received = []
+
+        class Probe(PageRank):
+            def compute(self, vertex, state, messages, neighbors, ctx):
+                if ctx.superstep == 1:
+                    received.append(len(messages))
+                return super().compute(vertex, state, messages,
+                                       neighbors, ctx)
+
+        engine_for(triangle).run(Probe(iterations=2), max_supersteps=3)
+        assert received and all(n == 1 for n in received)
+
+
+class TestAggregator:
+    def test_aggregates_recorded_per_superstep(self, triangle):
+        class CountActive(VertexProgram):
+            name = "count"
+
+            def initial_state(self, vertex, degree):
+                return 0
+
+            def compute(self, vertex, state, messages, neighbors, ctx):
+                if ctx.superstep == 0:
+                    ctx.send_all(neighbors, 1)
+                ctx.vote_halt()
+                return state
+
+            def aggregate(self, vertex, state):
+                return 1
+
+        report = engine_for(triangle).run(CountActive(), max_supersteps=5)
+        assert report.aggregates[0] == 3  # all vertices computed step 0
+
+    def test_should_stop_terminates_early(self, triangle):
+        class StopAfterTwo(VertexProgram):
+            name = "stopper"
+
+            def initial_state(self, vertex, degree):
+                return 0
+
+            def compute(self, vertex, state, messages, neighbors, ctx):
+                ctx.send_all(neighbors, 0)  # chatter forever
+                return state
+
+            def aggregate(self, vertex, state):
+                return 1
+
+            def should_stop(self, aggregate, superstep):
+                return superstep >= 2
+
+        report = engine_for(triangle).run(StopAfterTwo(), max_supersteps=50)
+        assert report.supersteps == 2
+        assert report.converged
+
+
+class TestLabelPropagation:
+    def test_two_cliques_two_communities(self):
+        graph = Graph()
+        for block in (range(0, 5), range(10, 15)):
+            members = list(block)
+            for i, a in enumerate(members):
+                for b in members[i + 1:]:
+                    graph.add_edge(a, b)
+        graph.add_edge(4, 10)  # single bridge
+        report = engine_for(graph).run(LabelPropagation(), max_supersteps=30)
+        labels = report.states
+        assert len({labels[v] for v in range(0, 5)}) == 1
+        assert len({labels[v] for v in range(10, 15)}) == 1
+
+    def test_converges_and_stops_early(self, small_web):
+        report = engine_for(small_web).run(LabelPropagation(max_iterations=40),
+                                           max_supersteps=45)
+        assert report.converged
+        assert report.supersteps < 40
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LabelPropagation(max_iterations=0)
+
+
+class TestKCore:
+    def test_clique_is_its_own_core(self):
+        k4 = Graph([(a, b) for a in range(4) for b in range(a + 1, 4)])
+        report = engine_for(k4).run(KCore(k=3), max_supersteps=10)
+        assert KCore.members(report.states) == [0, 1, 2, 3]
+
+    def test_tree_has_no_2core(self, star):
+        report = engine_for(star).run(KCore(k=2), max_supersteps=10)
+        assert KCore.members(report.states) == []
+
+    def test_peeling_cascades(self):
+        # Triangle with a pendant path: 2-core is exactly the triangle.
+        graph = Graph([(0, 1), (1, 2), (0, 2), (2, 3), (3, 4)])
+        report = engine_for(graph).run(KCore(k=2), max_supersteps=10)
+        assert KCore.members(report.states) == [0, 1, 2]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            KCore(k=0)
+
+
+class TestTriangleCount:
+    def test_single_triangle(self, triangle):
+        report = engine_for(triangle).run(TriangleCount(), max_supersteps=5)
+        assert TriangleCount.total(report.states) == 1
+
+    def test_star_has_none(self, star):
+        report = engine_for(star).run(TriangleCount(), max_supersteps=5)
+        assert TriangleCount.total(report.states) == 0
+
+    def test_k4_has_four(self):
+        k4 = Graph([(a, b) for a in range(4) for b in range(a + 1, 4)])
+        report = engine_for(k4).run(TriangleCount(), max_supersteps=5)
+        assert TriangleCount.total(report.states) == 4
+
+    def test_matches_clustering_math(self, small_clustered):
+        """Cross-check against direct adjacency-set counting."""
+        direct = 0
+        for e in small_clustered.edges():
+            common = (small_clustered.neighbors(e.u)
+                      & small_clustered.neighbors(e.v))
+            direct += len(common)
+        direct //= 3
+        report = engine_for(small_clustered).run(TriangleCount(),
+                                                 max_supersteps=5)
+        assert TriangleCount.total(report.states) == direct

@@ -1,0 +1,110 @@
+"""Unit tests for the core graph data structures."""
+
+import pytest
+
+from repro.graph.graph import Edge, Graph
+
+
+class TestEdge:
+    def test_canonical_orders_endpoints(self):
+        assert Edge(5, 2).canonical() == Edge(2, 5)
+
+    def test_canonical_is_identity_when_ordered(self):
+        edge = Edge(2, 5)
+        assert edge.canonical() is edge
+
+    def test_other_returns_opposite_endpoint(self):
+        edge = Edge(1, 2)
+        assert edge.other(1) == 2
+        assert edge.other(2) == 1
+
+    def test_other_rejects_non_endpoint(self):
+        with pytest.raises(ValueError):
+            Edge(1, 2).other(3)
+
+    def test_is_loop(self):
+        assert Edge(3, 3).is_loop()
+        assert not Edge(3, 4).is_loop()
+
+    def test_edge_equality_and_hash(self):
+        assert Edge(1, 2) == Edge(1, 2)
+        assert Edge(1, 2) != Edge(2, 1)
+        assert hash(Edge(1, 2)) == hash(Edge(1, 2))
+
+
+class TestGraph:
+    def test_empty_graph(self):
+        graph = Graph()
+        assert graph.num_vertices == 0
+        assert graph.num_edges == 0
+        assert list(graph.edges()) == []
+
+    def test_add_edge_creates_vertices(self):
+        graph = Graph()
+        assert graph.add_edge(1, 2)
+        assert graph.num_vertices == 2
+        assert graph.num_edges == 1
+
+    def test_duplicate_edge_not_counted(self):
+        graph = Graph()
+        assert graph.add_edge(1, 2)
+        assert not graph.add_edge(1, 2)
+        assert not graph.add_edge(2, 1)
+        assert graph.num_edges == 1
+
+    def test_self_loop_rejected(self):
+        graph = Graph()
+        with pytest.raises(ValueError):
+            graph.add_edge(3, 3)
+
+    def test_constructor_from_edges(self):
+        graph = Graph([(0, 1), (1, 2)])
+        assert graph.num_edges == 2
+        assert graph.has_edge(0, 1)
+        assert graph.has_edge(2, 1)
+
+    def test_add_vertex_isolated(self):
+        graph = Graph()
+        graph.add_vertex(7)
+        assert graph.has_vertex(7)
+        assert graph.degree(7) == 0
+        assert graph.num_edges == 0
+
+    def test_neighbors(self, star):
+        assert star.neighbors(0) == {1, 2, 3, 4, 5}
+        assert star.neighbors(3) == {0}
+
+    def test_degree(self, star):
+        assert star.degree(0) == 5
+        assert star.degree(1) == 1
+
+    def test_edges_yields_canonical_once(self, triangle):
+        edges = list(triangle.edges())
+        assert len(edges) == 3
+        assert all(e.u < e.v for e in edges)
+        assert set(edges) == {Edge(0, 1), Edge(1, 2), Edge(0, 2)}
+
+    def test_edge_list_matches_edges(self, two_triangles):
+        assert set(two_triangles.edge_list()) == set(two_triangles.edges())
+
+    def test_contains(self, triangle):
+        assert 0 in triangle
+        assert 99 not in triangle
+
+    def test_subgraph_induced(self, two_triangles):
+        sub = two_triangles.subgraph([0, 1, 2])
+        assert sub.num_vertices == 3
+        assert sub.num_edges == 3
+        assert not sub.has_edge(0, 3)
+
+    def test_subgraph_keeps_isolated_members(self, two_triangles):
+        sub = two_triangles.subgraph([1, 4])
+        assert sub.num_vertices == 2
+        assert sub.num_edges == 0
+
+    def test_has_edge_unknown_vertices(self):
+        graph = Graph([(0, 1)])
+        assert not graph.has_edge(5, 6)
+
+    def test_vertices_iteration(self, path_graph):
+        assert set(path_graph.vertices()) == {0, 1, 2, 3, 4}

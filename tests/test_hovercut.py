@@ -1,0 +1,72 @@
+"""Tests for the HoVerCut-style batched shared-state partitioner."""
+
+import pytest
+
+from repro.graph.stream import shuffled
+from repro.partitioning.hdrf import HDRFPartitioner
+from repro.partitioning.hovercut import HoverCutPartitioner
+from repro.partitioning.hashing import HashPartitioner
+
+
+def hdrf_policy(state, clock):
+    return HDRFPartitioner(state.partitions, clock=clock, state=state)
+
+
+class TestHoverCut:
+    def test_all_edges_assigned(self, small_powerlaw):
+        stream = shuffled(small_powerlaw.edges(), seed=3)
+        partitioner = HoverCutPartitioner(range(4), hdrf_policy,
+                                          num_workers=3, batch_size=16)
+        result = partitioner.partition_stream(stream)
+        assert len(result.assignments) == len(stream)
+        assert sum(result.state.partition_edges.values()) == len(stream)
+
+    def test_deterministic(self, small_powerlaw):
+        stream = shuffled(small_powerlaw.edges(), seed=3)
+
+        def run():
+            return HoverCutPartitioner(range(4), hdrf_policy,
+                                       num_workers=3,
+                                       batch_size=16).partition_stream(stream)
+        assert run().assignments == run().assignments
+
+    def test_single_worker_single_batch_matches_plain(self, small_powerlaw):
+        """One worker with one giant batch is plain single-pass streaming."""
+        stream = shuffled(small_powerlaw.edges(), seed=3)
+        hover = HoverCutPartitioner(range(4), hdrf_policy, num_workers=1,
+                                    batch_size=len(stream) + 1)
+        plain = HDRFPartitioner(range(4))
+        assert (hover.partition_stream(stream).assignments
+                == plain.partition_stream(stream).assignments)
+
+    def test_latency_is_max_of_workers(self, small_powerlaw):
+        """Parallel workers split the per-pass latency roughly evenly."""
+        stream = shuffled(small_powerlaw.edges(), seed=3)
+        solo = HoverCutPartitioner(range(4), hdrf_policy, num_workers=1,
+                                   batch_size=32).partition_stream(stream)
+        quad = HoverCutPartitioner(range(4), hdrf_policy, num_workers=4,
+                                   batch_size=32).partition_stream(stream)
+        assert quad.latency_ms < solo.latency_ms
+        assert quad.latency_ms > solo.latency_ms / 8
+
+    def test_stale_state_costs_some_quality(self, small_clustered):
+        """More workers -> staler snapshots -> replication no better."""
+        stream = shuffled(small_clustered.edges(), seed=3)
+        solo = HoverCutPartitioner(range(8), hdrf_policy, num_workers=1,
+                                   batch_size=32).partition_stream(stream)
+        many = HoverCutPartitioner(range(8), hdrf_policy, num_workers=8,
+                                   batch_size=32).partition_stream(stream)
+        assert many.replication_degree >= solo.replication_degree * 0.98
+
+    def test_beats_hash_quality(self, small_clustered):
+        stream = shuffled(small_clustered.edges(), seed=3)
+        hover = HoverCutPartitioner(range(8), hdrf_policy, num_workers=4,
+                                    batch_size=32).partition_stream(stream)
+        hashed = HashPartitioner(range(8)).partition_stream(stream)
+        assert hover.replication_degree < hashed.replication_degree
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HoverCutPartitioner(range(2), hdrf_policy, num_workers=0)
+        with pytest.raises(ValueError):
+            HoverCutPartitioner(range(2), hdrf_policy, batch_size=0)

@@ -1,0 +1,71 @@
+"""Unit tests for edge-list IO."""
+
+import pytest
+
+from repro.graph.graph import Edge, Graph
+from repro.graph.io import (
+    count_edges,
+    iter_edge_file,
+    parse_edge_line,
+    read_graph,
+    write_edges,
+    write_graph,
+)
+
+
+class TestParseEdgeLine:
+    def test_parses_pair(self):
+        assert parse_edge_line("3 7\n") == Edge(3, 7)
+
+    def test_ignores_blank(self):
+        assert parse_edge_line("   \n") is None
+
+    def test_ignores_hash_comment(self):
+        assert parse_edge_line("# header\n") is None
+
+    def test_ignores_percent_comment(self):
+        assert parse_edge_line("% konect header\n") is None
+
+    def test_tolerates_extra_columns(self):
+        assert parse_edge_line("1 2 1.5\n") == Edge(1, 2)
+
+    def test_rejects_single_token(self):
+        with pytest.raises(ValueError):
+            parse_edge_line("42\n")
+
+    def test_rejects_non_integer(self):
+        with pytest.raises(ValueError):
+            parse_edge_line("a b\n")
+
+
+class TestFileRoundTrip:
+    def test_write_then_read(self, tmp_path, two_triangles):
+        path = tmp_path / "g.txt"
+        written = write_graph(path, two_triangles, header="test graph")
+        assert written == two_triangles.num_edges
+        loaded = read_graph(path)
+        assert loaded.num_edges == two_triangles.num_edges
+        assert set(loaded.edges()) == set(two_triangles.edges())
+
+    def test_count_edges_ignores_comments(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("# header\n1 2\n\n2 3\n% trailer\n")
+        assert count_edges(path) == 2
+
+    def test_iter_edge_file_streams(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("1 2\n3 4\n")
+        assert list(iter_edge_file(path)) == [Edge(1, 2), Edge(3, 4)]
+
+    def test_read_graph_skips_self_loops(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("1 1\n1 2\n")
+        graph = read_graph(path)
+        assert graph.num_edges == 1
+
+    def test_write_edges_header_lines(self, tmp_path):
+        path = tmp_path / "g.txt"
+        write_edges(path, [(1, 2)], header="line one\nline two")
+        text = path.read_text()
+        assert text.startswith("# line one\n# line two\n")
+        assert count_edges(path) == 1

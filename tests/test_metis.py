@@ -1,0 +1,81 @@
+"""Tests for METIS adjacency-format IO."""
+
+import pytest
+
+from repro.graph.graph import Graph
+from repro.graph.metis import read_metis, write_metis
+
+
+class TestRoundTrip:
+    def test_triangle_round_trip(self, tmp_path, triangle):
+        path = tmp_path / "g.metis"
+        write_metis(path, triangle)
+        loaded = read_metis(path)
+        assert loaded.num_vertices == 3
+        assert loaded.num_edges == 3
+
+    def test_structure_preserved_up_to_renumbering(self, tmp_path):
+        graph = Graph([(10, 20), (20, 30), (10, 30), (30, 40)])
+        path = tmp_path / "g.metis"
+        write_metis(path, graph)
+        loaded = read_metis(path)
+        assert loaded.num_vertices == graph.num_vertices
+        assert loaded.num_edges == graph.num_edges
+        # Degree multiset is invariant under renumbering.
+        original = sorted(graph.degree(v) for v in graph.vertices())
+        reloaded = sorted(loaded.degree(v) for v in loaded.vertices())
+        assert original == reloaded
+
+    def test_isolated_vertices_kept(self, tmp_path):
+        graph = Graph([(0, 1)])
+        graph.add_vertex(5)
+        path = tmp_path / "g.metis"
+        write_metis(path, graph)
+        loaded = read_metis(path)
+        assert loaded.num_vertices == 3
+        assert loaded.num_edges == 1
+
+    def test_random_graph_round_trip(self, tmp_path, small_powerlaw):
+        path = tmp_path / "g.metis"
+        write_metis(path, small_powerlaw)
+        loaded = read_metis(path)
+        assert loaded.num_edges == small_powerlaw.num_edges
+        assert loaded.num_vertices == small_powerlaw.num_vertices
+
+
+class TestErrors:
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "g.metis"
+        path.write_text("")
+        with pytest.raises(ValueError):
+            read_metis(path)
+
+    def test_bad_header(self, tmp_path):
+        path = tmp_path / "g.metis"
+        path.write_text("42\n")
+        with pytest.raises(ValueError):
+            read_metis(path)
+
+    def test_vertex_count_mismatch(self, tmp_path):
+        path = tmp_path / "g.metis"
+        path.write_text("3 1\n2\n1\n")  # promises 3 vertices, has 2 lines
+        with pytest.raises(ValueError):
+            read_metis(path)
+
+    def test_edge_count_mismatch(self, tmp_path):
+        path = tmp_path / "g.metis"
+        path.write_text("2 5\n2\n1\n")  # one edge, header says five
+        with pytest.raises(ValueError):
+            read_metis(path)
+
+    def test_neighbor_out_of_range(self, tmp_path):
+        path = tmp_path / "g.metis"
+        path.write_text("2 1\n9\n1\n")
+        with pytest.raises(ValueError):
+            read_metis(path)
+
+    def test_comment_lines_skipped(self, tmp_path):
+        path = tmp_path / "g.metis"
+        path.write_text("% comment\n2 1\n2\n1\n")
+        loaded = read_metis(path)
+        assert loaded.num_edges == 1

@@ -1,0 +1,77 @@
+"""Unit tests for partitioning quality metrics."""
+
+import pytest
+
+from repro.graph.graph import Edge
+from repro.partitioning.metrics import (
+    balance_ratio,
+    cut_vertices,
+    imbalance,
+    merge_replica_sets,
+    partition_sizes,
+    replica_sets_from_assignments,
+    replication_degree,
+    vertex_copies,
+)
+
+
+@pytest.fixture
+def sample_assignments():
+    return {
+        Edge(0, 1): 0,
+        Edge(1, 2): 0,
+        Edge(2, 3): 1,
+        Edge(3, 0): 1,
+    }
+
+
+class TestReplicaSets:
+    def test_from_assignments(self, sample_assignments):
+        replicas = replica_sets_from_assignments(sample_assignments)
+        assert replicas[0] == {0, 1}
+        assert replicas[1] == {0}
+        assert replicas[2] == {0, 1}
+        assert replicas[3] == {1}
+
+    def test_replication_degree(self, sample_assignments):
+        replicas = replica_sets_from_assignments(sample_assignments)
+        assert replication_degree(replicas) == pytest.approx(6 / 4)
+
+    def test_replication_degree_empty(self):
+        assert replication_degree({}) == 0.0
+
+    def test_merge(self):
+        merged = merge_replica_sets([{1: {0}}, {1: {2}, 3: {1}}])
+        assert merged == {1: {0, 2}, 3: {1}}
+
+    def test_vertex_copies(self, sample_assignments):
+        replicas = replica_sets_from_assignments(sample_assignments)
+        assert vertex_copies(replicas) == 6
+
+    def test_cut_vertices(self, sample_assignments):
+        replicas = replica_sets_from_assignments(sample_assignments)
+        assert set(cut_vertices(replicas)) == {0, 2}
+
+
+class TestBalance:
+    def test_partition_sizes_include_empty(self, sample_assignments):
+        sizes = partition_sizes(sample_assignments, [0, 1, 2])
+        assert sizes == {0: 2, 1: 2, 2: 0}
+
+    def test_balance_ratio_perfect(self):
+        assert balance_ratio({0: 5, 1: 5}) == 1.0
+
+    def test_balance_ratio_empty_partition(self):
+        assert balance_ratio({0: 5, 1: 0}) == 0.0
+
+    def test_balance_ratio_no_partitions(self):
+        assert balance_ratio({}) == 1.0
+
+    def test_imbalance_zero_when_equal(self):
+        assert imbalance({0: 3, 1: 3}) == 0.0
+
+    def test_imbalance_formula(self):
+        assert imbalance({0: 10, 1: 8}) == pytest.approx(0.2)
+
+    def test_imbalance_all_empty(self):
+        assert imbalance({0: 0, 1: 0}) == 0.0

@@ -1,0 +1,72 @@
+"""Tests for persisting and reloading partitionings."""
+
+import pytest
+
+from repro.graph.graph import Edge
+from repro.graph.stream import shuffled
+from repro.partitioning.hdrf import HDRFPartitioner
+from repro.partitioning.partition_io import (
+    load_result,
+    read_assignments,
+    save_result,
+    write_assignments,
+)
+
+
+class TestRoundTrip:
+    def test_write_then_read(self, tmp_path):
+        assignments = {Edge(1, 2): 0, Edge(2, 3): 1}
+        path = tmp_path / "p.txt"
+        written = write_assignments(path, assignments, header="test")
+        assert written == 2
+        assert read_assignments(path) == assignments
+
+    def test_comments_ignored(self, tmp_path):
+        path = tmp_path / "p.txt"
+        path.write_text("# header\n1 2 0\n% other\n2 3 1\n")
+        assert read_assignments(path) == {Edge(1, 2): 0, Edge(2, 3): 1}
+
+    def test_malformed_line_raises(self, tmp_path):
+        path = tmp_path / "p.txt"
+        path.write_text("1 2\n")
+        with pytest.raises(ValueError):
+            read_assignments(path)
+
+    def test_non_canonical_edges_canonicalised(self, tmp_path):
+        path = tmp_path / "p.txt"
+        path.write_text("5 2 3\n")
+        assert read_assignments(path) == {Edge(2, 5): 3}
+
+
+class TestResultRoundTrip:
+    def test_save_and_load_preserves_metrics(self, tmp_path, small_powerlaw):
+        stream = shuffled(small_powerlaw.edges(), seed=3)
+        result = HDRFPartitioner(range(4)).partition_stream(stream)
+        path = tmp_path / "result.txt"
+        save_result(path, result)
+        loaded = load_result(path, partitions=range(4))
+        assert loaded.assignments == result.assignments
+        assert loaded.replication_degree == pytest.approx(
+            result.replication_degree)
+        assert loaded.imbalance == pytest.approx(result.imbalance)
+
+    def test_load_infers_partitions(self, tmp_path):
+        path = tmp_path / "p.txt"
+        write_assignments(path, {Edge(1, 2): 3, Edge(2, 4): 7})
+        loaded = load_result(path)
+        assert set(loaded.state.partitions) == {3, 7}
+
+    def test_load_empty_file_raises(self, tmp_path):
+        path = tmp_path / "p.txt"
+        path.write_text("# nothing\n")
+        with pytest.raises(ValueError):
+            load_result(path)
+
+    def test_header_contains_provenance(self, tmp_path, small_powerlaw):
+        stream = shuffled(small_powerlaw.edges(), seed=3)
+        result = HDRFPartitioner(range(4)).partition_stream(stream)
+        path = tmp_path / "result.txt"
+        save_result(path, result)
+        first_line = path.read_text().splitlines()[0]
+        assert "algorithm=HDRF" in first_line
+        assert "replication_degree=" in first_line

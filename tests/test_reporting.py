@@ -1,0 +1,74 @@
+"""Tests for the plain-text report rendering."""
+
+from repro.bench.harness import LatencyRow
+from repro.bench.reporting import (
+    format_spotlight,
+    format_stacked_rows,
+    format_table,
+    summarize_winner,
+)
+
+
+def make_row(label, part=10.0, blocks=(100.0, 100.0), repl=2.0, imb=0.01):
+    return LatencyRow(label=label, partitioning_ms=part,
+                      block_ms=list(blocks), replication_degree=repl,
+                      imbalance=imb, score_computations=0)
+
+
+class TestFormatTable:
+    def test_includes_headers_and_rows(self):
+        text = format_table(["a", "b"], [["x", 1.5]], title="T")
+        assert "T" in text
+        assert "a" in text and "b" in text
+        assert "1.500" in text
+
+    def test_column_alignment_widths(self):
+        text = format_table(["name", "value"],
+                            [["a-very-long-label", 1.0], ["b", 22.5]])
+        lines = text.splitlines()
+        assert len({len(line) for line in lines[0:1]}) == 1
+
+    def test_no_title(self):
+        text = format_table(["h"], [["v"]])
+        assert text.splitlines()[0].startswith("h")
+
+
+class TestFormatStacked:
+    def test_cumulative_columns(self):
+        row = make_row("cfg", part=10.0, blocks=(5.0, 5.0, 5.0))
+        text = format_stacked_rows([row], num_blocks=3)
+        assert "total@1blk" in text
+        assert "15.000" in text  # 10 + 5
+        assert "25.000" in text  # 10 + 15
+
+    def test_title_rendered(self):
+        text = format_stacked_rows([make_row("x")], title="Fig", num_blocks=2)
+        assert text.startswith("Fig")
+
+
+class TestFormatSpotlight:
+    def test_strategies_by_spread(self):
+        results = {"HDRF": {4: 2.0, 32: 5.0}, "DBH": {4: 3.0, 32: 8.0}}
+        text = format_spotlight(results)
+        assert "spread=4" in text and "spread=32" in text
+        assert "HDRF" in text and "DBH" in text
+        assert "2.000" in text and "8.000" in text
+
+    def test_missing_spread_rendered_nan(self):
+        text = format_spotlight({"A": {4: 1.0}, "B": {8: 2.0}})
+        assert "nan" in text
+
+
+class TestSummarizeWinner:
+    def test_picks_min_total(self):
+        rows = [make_row("slow", part=100.0, blocks=(10.0,)),
+                make_row("fast", part=1.0, blocks=(10.0,))]
+        text = summarize_winner(rows, blocks=1)
+        assert "fast" in text
+
+    def test_winner_depends_on_blocks(self):
+        # 'invest' pays more partitioning for cheaper blocks.
+        rows = [make_row("cheap", part=0.0, blocks=(100.0, 100.0)),
+                make_row("invest", part=50.0, blocks=(50.0, 50.0))]
+        assert "cheap" in summarize_winner(rows, blocks=1)
+        assert "invest" in summarize_winner(rows, blocks=2)

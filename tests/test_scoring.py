@@ -1,0 +1,186 @@
+"""Unit tests for ADWISE's scoring function (Eq. 3-7)."""
+
+import pytest
+
+from repro.graph.graph import Edge
+from repro.core.scoring import (
+    LAMBDA_MAX,
+    LAMBDA_MIN,
+    AdaptiveBalancer,
+    AdwiseScoring,
+)
+from repro.partitioning.state import PartitionState
+from repro.simtime import SimulatedClock
+
+
+@pytest.fixture
+def state():
+    return PartitionState([0, 1])
+
+
+@pytest.fixture
+def scoring(state):
+    return AdwiseScoring(state, balancer=None, fixed_lambda=1.0)
+
+
+class TestAdaptiveBalancer:
+    def test_tolerance_linear_decay(self):
+        assert AdaptiveBalancer.tolerance(0.0) == 1.0
+        assert AdaptiveBalancer.tolerance(0.5) == 0.5
+        assert AdaptiveBalancer.tolerance(1.0) == 0.0
+        assert AdaptiveBalancer.tolerance(1.5) == 0.0
+
+    def test_lambda_grows_when_imbalance_exceeds_tolerance(self):
+        balancer = AdaptiveBalancer(total_edges=100, initial=1.0)
+        # At the end of the stream (alpha=1) tolerance is 0: any imbalance
+        # raises lambda.
+        new = balancer.update(imbalance=0.5, assigned_edges=100)
+        assert new == pytest.approx(1.5)
+
+    def test_lambda_shrinks_when_balanced_early(self):
+        balancer = AdaptiveBalancer(total_edges=100, initial=1.0)
+        # Early in the stream tolerance is ~1: perfect balance lowers lambda.
+        new = balancer.update(imbalance=0.0, assigned_edges=1)
+        assert new < 1.0
+
+    def test_lambda_clamped_above(self):
+        balancer = AdaptiveBalancer(total_edges=10, initial=4.9)
+        for _ in range(10):
+            balancer.update(imbalance=1.0, assigned_edges=10)
+        assert balancer.value == LAMBDA_MAX
+
+    def test_lambda_clamped_below(self):
+        balancer = AdaptiveBalancer(total_edges=1000, initial=0.5)
+        for _ in range(10):
+            balancer.update(imbalance=0.0, assigned_edges=1)
+        assert balancer.value == LAMBDA_MIN
+
+    def test_initial_outside_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            AdaptiveBalancer(10, initial=10.0)
+
+    def test_zero_total_edges_uses_full_progress(self):
+        balancer = AdaptiveBalancer(total_edges=0, initial=1.0)
+        balancer.update(imbalance=0.3, assigned_edges=0)
+        assert balancer.value == pytest.approx(1.3)
+
+
+class TestBalanceScore:
+    def test_empty_partitions_equal(self, scoring):
+        assert scoring.balance_score(0) == scoring.balance_score(1)
+
+    def test_lighter_partition_scores_higher(self, state, scoring):
+        state.assign(Edge(1, 2), 0)
+        assert scoring.balance_score(1) > scoring.balance_score(0)
+
+    def test_bounded_zero_one(self, state, scoring):
+        for i in range(10):
+            state.assign(Edge(i, i + 100), 0)
+        assert 0.0 <= scoring.balance_score(0) <= 1.0
+        assert 0.0 <= scoring.balance_score(1) <= 1.0
+
+
+class TestReplicationScore:
+    def test_zero_for_unknown_vertices(self, scoring):
+        assert scoring.replication_score(Edge(5, 6), 0) == 0.0
+
+    def test_replica_rewarded(self, state, scoring):
+        state.observe_degrees(Edge(5, 6))
+        state.assign(Edge(5, 6), 0)
+        assert scoring.replication_score(Edge(5, 7), 0) > 0.0
+        assert scoring.replication_score(Edge(5, 7), 1) == 0.0
+
+    def test_both_endpoints_double_reward(self, state, scoring):
+        state.observe_degrees(Edge(5, 6))
+        state.assign(Edge(5, 6), 0)
+        both = scoring.replication_score(Edge(5, 6), 0)
+        one = scoring.replication_score(Edge(5, 7), 0)
+        assert both > one
+
+    def test_low_degree_vertex_scores_higher_than_high_degree(self, state):
+        """Eq. 5: (2 − Ψ) penalises high-degree (easily re-cut) vertices."""
+        scoring = AdwiseScoring(state, balancer=None)
+        # Vertex 1: degree 6 (high); vertex 50: degree 1 (low).
+        for other in range(2, 8):
+            state.observe_degrees(Edge(1, other))
+        state.observe_degrees(Edge(50, 51))
+        state.assign(Edge(1, 2), 0)
+        state.assign(Edge(50, 51), 0)
+        high = scoring.replication_score(Edge(1, 90), 0)
+        low = scoring.replication_score(Edge(50, 90), 0)
+        assert low > high
+
+    def test_psi_normalisation(self, state, scoring):
+        for other in range(2, 6):
+            state.observe_degrees(Edge(1, other))
+        # deg(1) = 4 = maxDegree -> psi = 0.5
+        assert scoring.psi(1) == pytest.approx(0.5)
+
+
+class TestClusteringScore:
+    def test_empty_neighborhood_zero(self, scoring):
+        assert scoring.clustering_score(Edge(1, 2), 0, ()) == 0.0
+
+    def test_fraction_of_replicated_neighbors(self, state, scoring):
+        state.observe_degrees(Edge(10, 11))
+        state.assign(Edge(10, 11), 0)
+        # Neighborhood {10, 11, 99}: two of three are on partition 0.
+        cs = scoring.clustering_score(Edge(1, 2), 0, [10, 11, 99])
+        assert cs == pytest.approx(2 / 3)
+
+    def test_paper_figure6_example(self):
+        """Fig. 6: u embedded in a cluster on p1 beats a lone neighbor on p2."""
+        state = PartitionState([1, 2])
+        scoring = AdwiseScoring(state, balancer=None)
+        # Neighbors u1,u2,u3 on partition 1; u4 on partition 2.
+        for vertex, partition in [(11, 1), (12, 1), (13, 1), (14, 2)]:
+            state.observe_degrees(Edge(vertex, 100 + vertex))
+            state.assign(Edge(vertex, 100 + vertex), partition)
+        neighborhood = [11, 12, 13, 14]
+        cs_p1 = scoring.clustering_score(Edge(1, 2), 1, neighborhood)
+        cs_p2 = scoring.clustering_score(Edge(1, 2), 2, neighborhood)
+        assert cs_p1 == pytest.approx(3 / 4)
+        assert cs_p2 == pytest.approx(1 / 4)
+        assert cs_p1 > cs_p2
+
+    def test_disabled_clustering_excluded_from_total(self, state):
+        with_cs = AdwiseScoring(state, balancer=None, use_clustering=True)
+        without_cs = AdwiseScoring(state, balancer=None, use_clustering=False)
+        state.observe_degrees(Edge(10, 11))
+        state.assign(Edge(10, 11), 0)
+        total_with = with_cs.score(Edge(1, 2), 0, [10])
+        total_without = without_cs.score(Edge(1, 2), 0, [10])
+        assert total_with > total_without
+
+
+class TestTotalScore:
+    def test_charges_clock(self, state):
+        clock = SimulatedClock()
+        scoring = AdwiseScoring(state, balancer=None, clock=clock)
+        scoring.score(Edge(1, 2), 0, ())
+        assert clock.score_computations == 1
+
+    def test_lambda_weighting(self, state):
+        low = AdwiseScoring(state, balancer=None, fixed_lambda=0.4)
+        high = AdwiseScoring(state, balancer=None, fixed_lambda=5.0)
+        state.assign(Edge(1, 2), 0)
+        # Partition 1 is lighter; high lambda amplifies its advantage.
+        gap_low = (low.score(Edge(8, 9), 1, ())
+                   - low.score(Edge(8, 9), 0, ()))
+        gap_high = (high.score(Edge(8, 9), 1, ())
+                    - high.score(Edge(8, 9), 0, ()))
+        assert gap_high > gap_low
+
+    def test_after_assignment_adapts_lambda(self, state):
+        balancer = AdaptiveBalancer(total_edges=2, initial=1.0)
+        scoring = AdwiseScoring(state, balancer=balancer)
+        state.assign(Edge(1, 2), 0)  # imbalance 1.0 at alpha 0.5
+        scoring.after_assignment()
+        assert balancer.value != 1.0
+
+    def test_current_lambda_sources(self, state):
+        fixed = AdwiseScoring(state, balancer=None, fixed_lambda=2.5)
+        assert fixed.current_lambda == 2.5
+        balancer = AdaptiveBalancer(total_edges=10, initial=1.5)
+        adaptive = AdwiseScoring(state, balancer=balancer)
+        assert adaptive.current_lambda == 1.5

@@ -1,0 +1,71 @@
+"""Unit tests for the clock abstractions."""
+
+import pytest
+
+from repro.simtime import SimulatedClock, WallClock
+
+
+class TestSimulatedClock:
+    def test_starts_at_zero(self):
+        assert SimulatedClock().now() == 0.0
+
+    def test_charge_score_advances(self):
+        clock = SimulatedClock(score_cost_ms=0.5)
+        clock.charge_score()
+        assert clock.now() == pytest.approx(0.5)
+        assert clock.score_computations == 1
+
+    def test_charge_score_batch(self):
+        clock = SimulatedClock(score_cost_ms=0.1)
+        clock.charge_score(10)
+        assert clock.now() == pytest.approx(1.0)
+        assert clock.score_computations == 10
+
+    def test_charge_assignment(self):
+        clock = SimulatedClock(assignment_cost_ms=0.2)
+        clock.charge_assignment(3)
+        assert clock.now() == pytest.approx(0.6)
+        assert clock.assignments == 3
+
+    def test_advance(self):
+        clock = SimulatedClock()
+        clock.advance(10.0)
+        assert clock.now() == 10.0
+
+    def test_advance_negative_rejected(self):
+        with pytest.raises(ValueError):
+            SimulatedClock().advance(-1.0)
+
+    def test_negative_costs_rejected(self):
+        with pytest.raises(ValueError):
+            SimulatedClock(score_cost_ms=-0.1)
+
+    def test_reset(self):
+        clock = SimulatedClock()
+        clock.charge_score(5)
+        clock.charge_assignment(2)
+        clock.reset()
+        assert clock.now() == 0.0
+        assert clock.score_computations == 0
+        assert clock.assignments == 0
+
+    def test_monotone(self):
+        clock = SimulatedClock()
+        t0 = clock.now()
+        clock.charge_score()
+        assert clock.now() >= t0
+
+
+class TestWallClock:
+    def test_now_advances(self):
+        clock = WallClock()
+        first = clock.now()
+        second = clock.now()
+        assert second >= first >= 0.0
+
+    def test_counts_events_without_time_charge(self):
+        clock = WallClock()
+        clock.charge_score(4)
+        clock.charge_assignment(2)
+        assert clock.score_computations == 4
+        assert clock.assignments == 2

@@ -1,0 +1,137 @@
+"""Unit tests for PartitionState: the vertex cache and bookkeeping."""
+
+import pytest
+
+from repro.graph.graph import Edge
+from repro.partitioning.state import PartitionState, merged_replication_degree
+
+
+class TestConstruction:
+    def test_requires_partitions(self):
+        with pytest.raises(ValueError):
+            PartitionState([])
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ValueError):
+            PartitionState([1, 1, 2])
+
+    def test_initial_sizes_zero(self):
+        state = PartitionState([0, 1, 2])
+        assert state.max_size == 0
+        assert state.min_size == 0
+        assert state.imbalance() == 0.0
+
+
+class TestAssign:
+    def test_assign_updates_replicas(self):
+        state = PartitionState([0, 1])
+        changed = state.assign(Edge(10, 20), 0)
+        assert set(changed) == {10, 20}
+        assert state.replicas(10) == {0}
+        assert state.replicas(20) == {0}
+
+    def test_assign_same_partition_no_new_replica(self):
+        state = PartitionState([0, 1])
+        state.assign(Edge(10, 20), 0)
+        changed = state.assign(Edge(10, 30), 0)
+        assert changed == [30]
+        assert state.replicas(10) == {0}
+
+    def test_assign_other_partition_replicates(self):
+        state = PartitionState([0, 1])
+        state.assign(Edge(10, 20), 0)
+        state.assign(Edge(10, 30), 1)
+        assert state.replicas(10) == {0, 1}
+
+    def test_assign_outside_spread_rejected(self):
+        state = PartitionState([0, 1])
+        with pytest.raises(ValueError):
+            state.assign(Edge(1, 2), 5)
+
+    def test_assigned_edges_counter(self):
+        state = PartitionState([0])
+        state.assign(Edge(1, 2), 0)
+        state.assign(Edge(2, 3), 0)
+        assert state.assigned_edges == 2
+
+
+class TestSizes:
+    def test_incremental_max_min(self):
+        state = PartitionState([0, 1, 2])
+        state.assign(Edge(1, 2), 0)
+        assert state.max_size == 1
+        assert state.min_size == 0
+        state.assign(Edge(2, 3), 1)
+        state.assign(Edge(3, 4), 2)
+        assert state.min_size == 1
+        assert state.max_size == 1
+
+    def test_sizes_match_bruteforce(self):
+        state = PartitionState([0, 1, 2, 3])
+        import random
+        rng = random.Random(0)
+        for i in range(200):
+            state.assign(Edge(i, i + 1), rng.choice([0, 1, 2, 3]))
+            assert state.max_size == max(state.partition_edges.values())
+            assert state.min_size == min(state.partition_edges.values())
+
+    def test_imbalance_formula(self):
+        state = PartitionState([0, 1])
+        state.assign(Edge(1, 2), 0)
+        state.assign(Edge(2, 3), 0)
+        state.assign(Edge(3, 4), 1)
+        assert state.imbalance() == pytest.approx(0.5)
+
+
+class TestDegrees:
+    def test_observe_degrees(self):
+        state = PartitionState([0])
+        state.observe_degrees(Edge(1, 2))
+        state.observe_degrees(Edge(1, 3))
+        assert state.degree_of(1) == 2
+        assert state.degree_of(2) == 1
+        assert state.degree_of(99) == 0
+
+    def test_max_degree_tracks(self):
+        state = PartitionState([0])
+        assert state.max_degree == 1
+        for other in range(2, 7):
+            state.observe_degrees(Edge(1, other))
+        assert state.max_degree == 5
+
+    def test_copy_degrees(self):
+        src = PartitionState([0])
+        src.observe_degrees(Edge(1, 2))
+        dst = PartitionState([0, 1])
+        dst.copy_degrees_from(src)
+        assert dst.degree_of(1) == 1
+        assert dst.max_degree == src.max_degree
+
+
+class TestReplicationDegree:
+    def test_single_partition_degree_one(self):
+        state = PartitionState([0])
+        state.assign(Edge(1, 2), 0)
+        state.assign(Edge(2, 3), 0)
+        assert state.replication_degree() == 1.0
+
+    def test_cut_vertex_counts_twice(self):
+        state = PartitionState([0, 1])
+        state.assign(Edge(1, 2), 0)
+        state.assign(Edge(1, 3), 1)
+        # R_1 = {0,1}, R_2 = {0}, R_3 = {1} -> (2+1+1)/3
+        assert state.replication_degree() == pytest.approx(4 / 3)
+
+    def test_empty_state_zero(self):
+        assert PartitionState([0]).replication_degree() == 0.0
+
+    def test_merged_replication_degree(self):
+        a = PartitionState([0, 1])
+        b = PartitionState([2, 3])
+        a.assign(Edge(1, 2), 0)
+        b.assign(Edge(1, 3), 2)
+        # Union: R_1 = {0,2}, R_2 = {0}, R_3 = {2}
+        assert merged_replication_degree([a, b]) == pytest.approx(4 / 3)
+
+    def test_merged_empty(self):
+        assert merged_replication_degree([]) == 0.0

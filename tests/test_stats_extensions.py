@@ -1,0 +1,68 @@
+"""Tests for the extended graph statistics."""
+
+import math
+
+import pytest
+
+from repro.graph.graph import Graph
+from repro.graph.generators import barabasi_albert_graph
+from repro.graph.stats import (
+    degree_percentile,
+    powerlaw_exponent,
+    triangle_count,
+)
+
+
+class TestTriangleCount:
+    def test_triangle(self, triangle):
+        assert triangle_count(triangle) == 1
+
+    def test_star(self, star):
+        assert triangle_count(star) == 0
+
+    def test_k4(self):
+        k4 = Graph([(a, b) for a in range(4) for b in range(a + 1, 4)])
+        assert triangle_count(k4) == 4
+
+    def test_two_triangles_sharing_vertex(self, two_triangles):
+        assert triangle_count(two_triangles) == 2
+
+    def test_empty(self):
+        assert triangle_count(Graph()) == 0
+
+
+class TestPowerlawExponent:
+    def test_ba_graph_in_plausible_range(self):
+        graph = barabasi_albert_graph(3000, 4, seed=1)
+        alpha = powerlaw_exponent(graph, xmin=4)
+        # BA graphs have a theoretical exponent of 3.
+        assert 2.0 < alpha < 4.5
+
+    def test_regular_graph_degenerate(self):
+        cycle = Graph([(i, (i + 1) % 8) for i in range(8)])
+        # All degrees equal xmin -> denominator ~ 0 handled.
+        alpha = powerlaw_exponent(cycle, xmin=2)
+        assert alpha > 1.0 or math.isinf(alpha)
+
+    def test_empty_graph_inf(self):
+        assert math.isinf(powerlaw_exponent(Graph()))
+
+    def test_invalid_xmin(self):
+        with pytest.raises(ValueError):
+            powerlaw_exponent(Graph(), xmin=0)
+
+
+class TestDegreePercentile:
+    def test_star_percentiles(self, star):
+        assert degree_percentile(star, 0.0) == 1
+        assert degree_percentile(star, 1.0) == 5
+
+    def test_median_of_path(self, path_graph):
+        assert degree_percentile(path_graph, 0.5) == 2
+
+    def test_empty_graph(self):
+        assert degree_percentile(Graph(), 0.5) == 0
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            degree_percentile(Graph(), 1.5)

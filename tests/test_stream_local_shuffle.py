@@ -1,0 +1,65 @@
+"""Focused tests for the locally shuffled stream order."""
+
+import pytest
+
+from repro.graph.graph import Edge
+from repro.graph.stream import locally_shuffled
+
+
+def path_edges(n):
+    return [Edge(i, i + 1) for i in range(n)]
+
+
+class TestLocallyShuffled:
+    def test_permutation(self):
+        edges = path_edges(200)
+        out = list(locally_shuffled(edges, buffer_size=16, seed=1))
+        assert sorted(out) == sorted(edges)
+
+    def test_deterministic(self):
+        edges = path_edges(100)
+        a = list(locally_shuffled(edges, buffer_size=16, seed=4))
+        b = list(locally_shuffled(edges, buffer_size=16, seed=4))
+        assert a == b
+
+    def test_displacement_bounded_by_buffer(self):
+        """No edge may appear earlier than its position minus the buffer."""
+        edges = path_edges(500)
+        buffer_size = 32
+        out = list(locally_shuffled(edges, buffer_size=buffer_size, seed=2))
+        original_index = {e: i for i, e in enumerate(edges)}
+        for position, edge in enumerate(out):
+            # An edge can only be emitted after it entered the buffer.
+            assert position >= original_index[edge] - buffer_size
+
+    def test_buffer_one_nearly_identity(self):
+        """A tiny buffer keeps edges close to their original position.
+
+        An edge can never be emitted earlier than one slot before its
+        original position, and delays are geometrically rare, so the
+        average displacement stays small.
+        """
+        edges = path_edges(50)
+        out = list(locally_shuffled(edges, buffer_size=1, seed=3))
+        original_index = {e: i for i, e in enumerate(edges)}
+        displacements = [abs(original_index[e] - i)
+                         for i, e in enumerate(out)]
+        assert sum(displacements) / len(displacements) < 2.0
+        assert all(i >= original_index[e] - 1 for i, e in enumerate(out))
+
+    def test_large_buffer_fully_shuffles(self):
+        edges = path_edges(100)
+        out = list(locally_shuffled(edges, buffer_size=1000, seed=5))
+        assert out != edges  # everything sat in the buffer, then shuffled
+
+    def test_actually_scrambles_locally(self):
+        edges = path_edges(300)
+        out = list(locally_shuffled(edges, buffer_size=64, seed=6))
+        assert out != edges
+
+    def test_invalid_buffer(self):
+        with pytest.raises(ValueError):
+            locally_shuffled([], buffer_size=0)
+
+    def test_empty_input(self):
+        assert list(locally_shuffled([], buffer_size=8)) == []

@@ -1,0 +1,75 @@
+"""Tests for repository tooling (EXPERIMENTS.md assembly)."""
+
+import importlib.util
+import os
+import sys
+
+import pytest
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SCRIPT = os.path.join(ROOT, "tools", "build_experiments_md.py")
+
+
+@pytest.fixture
+def builder():
+    spec = importlib.util.spec_from_file_location("build_experiments_md",
+                                                  SCRIPT)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExperimentsBuilder:
+    def test_sections_cover_every_paper_artifact(self, builder):
+        stems = {stem for stem, _, _ in builder.SECTIONS}
+        # Every numbered artifact of the paper must have a section.
+        for required in ("table2_graphs", "fig1_landscape",
+                         "fig7a_pagerank_brain", "fig7b_pagerank_web",
+                         "fig7c_pagerank_orkut", "fig7d_subgraph_brain",
+                         "fig7e_coloring_web", "fig7f_clique_orkut",
+                         "fig7g_replication_brain", "fig7h_replication_web",
+                         "fig7i_replication_orkut", "fig8_spotlight"):
+            assert required in stems, required
+
+    def test_every_section_has_commentary(self, builder):
+        for stem, title, commentary in builder.SECTIONS:
+            assert len(commentary.strip()) > 100, stem
+            assert title
+
+    def test_sections_match_bench_files(self, builder):
+        """Each figure section corresponds to an actual bench module."""
+        bench_dir = os.path.join(ROOT, "benchmarks")
+        benches = {name for name in os.listdir(bench_dir)
+                   if name.startswith("bench_")}
+        for stem, _, _ in builder.SECTIONS:
+            if stem.startswith(("fig", "table", "ablation", "window")):
+                expected_prefix = f"bench_{stem.split('_')[0]}"
+                assert any(b.startswith(expected_prefix) for b in benches), stem
+
+
+class TestRepositoryLayout:
+    def test_examples_present_and_runnable_syntax(self):
+        examples = os.path.join(ROOT, "examples")
+        scripts = [f for f in os.listdir(examples) if f.endswith(".py")]
+        assert len(scripts) >= 5
+        for script in scripts:
+            path = os.path.join(examples, script)
+            with open(path, "r", encoding="utf-8") as handle:
+                source = handle.read()
+            compile(source, path, "exec")  # syntax must be valid
+            assert '"""' in source  # every example carries a docstring
+            assert "def main()" in source
+
+    def test_one_bench_per_figure(self):
+        bench_dir = os.path.join(ROOT, "benchmarks")
+        benches = sorted(name for name in os.listdir(bench_dir)
+                         if name.startswith("bench_fig7"))
+        # Fig. 7 has nine panels (a-i).
+        assert len(benches) == 9
+
+    def test_docs_exist(self):
+        for doc in ("README.md", "DESIGN.md"):
+            path = os.path.join(ROOT, doc)
+            assert os.path.exists(path)
+            with open(path, "r", encoding="utf-8") as handle:
+                assert len(handle.read()) > 1000

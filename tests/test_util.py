@@ -1,0 +1,39 @@
+"""Unit tests for hashing utilities."""
+
+import pytest
+
+from repro.util import hash_to_range, stable_hash
+
+
+class TestStableHash:
+    def test_deterministic(self):
+        assert stable_hash(42) == stable_hash(42)
+
+    def test_seed_changes_hash(self):
+        assert stable_hash(42, seed=0) != stable_hash(42, seed=1)
+
+    def test_sequential_ids_scatter(self):
+        """Unlike built-in hash, sequential ints must not map sequentially."""
+        values = [stable_hash(i) % 16 for i in range(64)]
+        assert values != sorted(values)
+        assert len(set(values)) > 4
+
+    def test_64_bit_range(self):
+        for v in (0, 1, 2**40, 2**63):
+            assert 0 <= stable_hash(v) < 2**64
+
+
+class TestHashToRange:
+    def test_within_range(self):
+        for i in range(100):
+            assert 0 <= hash_to_range(i, 7) < 7
+
+    def test_roughly_uniform(self):
+        counts = [0] * 8
+        for i in range(8000):
+            counts[hash_to_range(i, 8)] += 1
+        assert all(800 < c < 1200 for c in counts)
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            hash_to_range(1, 0)

@@ -1,0 +1,93 @@
+"""Tests for partitioning validation."""
+
+import pytest
+
+from repro.graph.graph import Edge
+from repro.graph.stream import InMemoryEdgeStream, shuffled
+from repro.partitioning.base import PartitionResult
+from repro.partitioning.hdrf import HDRFPartitioner
+from repro.partitioning.state import PartitionState
+from repro.partitioning.validate import validate_result
+
+
+def valid_result(small_powerlaw):
+    stream = shuffled(small_powerlaw.edges(), seed=3)
+    return HDRFPartitioner(range(4)).partition_stream(stream)
+
+
+class TestValidResults:
+    def test_real_partitioning_validates(self, small_powerlaw):
+        report = validate_result(valid_result(small_powerlaw))
+        assert report.ok
+        report.raise_if_invalid()  # no exception
+
+    def test_expected_edges_checked(self, small_powerlaw):
+        result = valid_result(small_powerlaw)
+        good = validate_result(result,
+                               expected_edges=result.state.assigned_edges)
+        assert good.ok
+        bad = validate_result(result, expected_edges=1)
+        assert not bad.ok
+
+    def test_balance_constraint(self, small_powerlaw):
+        result = valid_result(small_powerlaw)
+        # HDRF keeps balance far above tau = 0.5.
+        assert validate_result(result, tau=0.5).ok
+        # An impossible tau must fail.
+        assert not validate_result(result, tau=1.0).ok
+
+
+class TestCorruptedResults:
+    def test_unknown_partition_detected(self):
+        state = PartitionState([0, 1])
+        state.assign(Edge(1, 2), 0)
+        result = PartitionResult("x", state, {Edge(1, 2): 9},
+                                 latency_ms=1.0)
+        report = validate_result(result)
+        assert any("unknown partition" in e for e in report.errors)
+
+    def test_inconsistent_replicas_detected(self):
+        state = PartitionState([0, 1])
+        state.assign(Edge(1, 2), 0)
+        # Claim the edge went to partition 1 although state says 0.
+        result = PartitionResult("x", state, {Edge(1, 2): 1},
+                                 latency_ms=1.0)
+        report = validate_result(result)
+        assert not report.ok
+
+    def test_size_accounting_mismatch(self):
+        state = PartitionState([0])
+        state.assign(Edge(1, 2), 0)
+        state.partition_edges[0] = 5  # corrupt the books
+        result = PartitionResult("x", state, {Edge(1, 2): 0},
+                                 latency_ms=1.0)
+        report = validate_result(result)
+        assert any("sum to" in e for e in report.errors)
+
+    def test_negative_latency_detected(self):
+        state = PartitionState([0])
+        state.assign(Edge(1, 2), 0)
+        result = PartitionResult("x", state, {Edge(1, 2): 0},
+                                 latency_ms=-1.0)
+        assert not validate_result(result).ok
+
+    def test_raise_if_invalid(self):
+        state = PartitionState([0])
+        result = PartitionResult("x", state, {Edge(1, 2): 9},
+                                 latency_ms=0.0)
+        with pytest.raises(AssertionError, match="invalid partitioning"):
+            validate_result(result).raise_if_invalid()
+
+    def test_empty_partition_warning(self, small_powerlaw):
+        stream = shuffled(small_powerlaw.edges(), seed=3)
+        # Force everything onto partition 0 of 4 via a degenerate state.
+        state = PartitionState([0, 1, 2, 3])
+        assignments = {}
+        for edge in stream:
+            canon = edge.canonical()
+            state.observe_degrees(canon)
+            state.assign(canon, 0)
+            assignments[canon] = 0
+        result = PartitionResult("x", state, assignments, latency_ms=0.0)
+        report = validate_result(result)
+        assert any("empty partitions" in w for w in report.warnings)

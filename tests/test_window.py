@@ -1,0 +1,203 @@
+"""Unit tests for the edge window and lazy traversal."""
+
+import pytest
+
+from repro.graph.graph import Edge
+from repro.core.scoring import AdwiseScoring
+from repro.core.window import EdgeWindow
+from repro.partitioning.state import PartitionState
+from repro.simtime import SimulatedClock
+
+
+def make_window(partitions=(0, 1), lazy=True, epsilon=0.1,
+                max_candidates=64, clock=None):
+    state = PartitionState(list(partitions))
+    scoring = AdwiseScoring(state, balancer=None, clock=clock)
+    return EdgeWindow(scoring, lazy=lazy, epsilon=epsilon,
+                      max_candidates=max_candidates), state
+
+
+class TestBasics:
+    def test_empty_window(self):
+        window, _ = make_window()
+        assert len(window) == 0
+        with pytest.raises(IndexError):
+            window.pop_best()
+
+    def test_add_and_len(self):
+        window, _ = make_window()
+        window.add(Edge(1, 2))
+        window.add(Edge(3, 4))
+        assert len(window) == 2
+
+    def test_duplicate_edges_kept_as_distinct_entries(self):
+        window, _ = make_window()
+        window.add(Edge(1, 2))
+        window.add(Edge(1, 2))
+        assert len(window) == 2
+
+    def test_pop_removes_entry(self):
+        window, _ = make_window()
+        window.add(Edge(1, 2))
+        edge, partition, score = window.pop_best()
+        assert edge == Edge(1, 2)
+        assert partition in (0, 1)
+        assert len(window) == 0
+
+    def test_invalid_epsilon(self):
+        state = PartitionState([0])
+        scoring = AdwiseScoring(state, balancer=None)
+        with pytest.raises(ValueError):
+            EdgeWindow(scoring, epsilon=2.0)
+
+    def test_invalid_max_candidates(self):
+        state = PartitionState([0])
+        scoring = AdwiseScoring(state, balancer=None)
+        with pytest.raises(ValueError):
+            EdgeWindow(scoring, max_candidates=0)
+
+
+class TestBestSelection:
+    def test_informed_edge_preferred(self):
+        """The Fig. 3(b) scenario: the edge with a known replica goes first."""
+        window, state = make_window()
+        # Vertex 10 already replicated on partition 0.
+        state.observe_degrees(Edge(10, 11))
+        state.assign(Edge(10, 11), 0)
+        window.add(Edge(1, 2))     # uninformed
+        window.add(Edge(10, 3))    # informed: 10 is on partition 0
+        edge, partition, _ = window.pop_best()
+        assert edge == Edge(10, 3)
+        assert partition == 0
+
+    def test_assignment_unlocks_next_edge(self):
+        """Delaying uninformed edges lets them become informed (paper §II-C)."""
+        window, state = make_window()
+        state.observe_degrees(Edge(10, 11))
+        state.assign(Edge(10, 11), 0)
+        window.add(Edge(1, 10))
+        window.add(Edge(1, 2))
+        first_edge, first_partition, _ = window.pop_best()
+        assert first_edge == Edge(1, 10)
+        state.assign(first_edge, first_partition)
+        window.on_replicas_changed([1, 10])
+        second_edge, second_partition, _ = window.pop_best()
+        assert second_edge == Edge(1, 2)
+        assert second_partition == first_partition  # follows vertex 1
+
+
+class TestNeighborhood:
+    def test_window_local_neighbors(self):
+        window, _ = make_window()
+        window.add(Edge(1, 2))
+        window.add(Edge(2, 3))
+        window.add(Edge(8, 9))
+        nbrs = window.neighborhood(Edge(1, 2))
+        assert nbrs == {3}
+
+    def test_neighborhood_excludes_own_entry(self):
+        window, _ = make_window()
+        eid = window.add(Edge(1, 2))
+        assert window.neighborhood(Edge(1, 2), exclude_entry=eid) == set()
+
+    def test_neighborhood_excludes_endpoints(self):
+        window, _ = make_window()
+        window.add(Edge(1, 2))
+        window.add(Edge(1, 3))
+        nbrs = window.neighborhood(Edge(2, 3))
+        assert 2 not in nbrs and 3 not in nbrs
+        assert nbrs == {1}
+
+
+class TestLazyTraversal:
+    def test_eager_mode_all_candidates(self):
+        window, _ = make_window(lazy=False)
+        for i in range(6):
+            window.add(Edge(i, i + 100))
+        assert window.candidate_count == 6
+        assert window.secondary_count == 0
+
+    def test_lazy_uniform_scores_go_secondary(self):
+        """Cold cache: all scores equal the threshold avg+eps -> secondary."""
+        window, _ = make_window(lazy=True)
+        for i in range(6):
+            window.add(Edge(i, i + 100))
+        assert window.secondary_count == 6
+
+    def test_high_score_edge_becomes_candidate(self):
+        window, state = make_window(lazy=True)
+        for i in range(5):
+            window.add(Edge(i, i + 100))
+        state.observe_degrees(Edge(50, 51))
+        state.assign(Edge(50, 51), 0)
+        window.add(Edge(50, 52))  # replica bonus beats the average
+        assert window.candidate_count >= 1
+
+    def test_empty_candidates_fallback_promotes(self):
+        window, _ = make_window(lazy=True)
+        for i in range(8):
+            window.add(Edge(i, i + 100))
+        assert window.candidate_count == 0
+        edge, partition, _ = window.pop_best()  # triggers rescore+promotion
+        assert edge is not None
+
+    def test_replica_change_promotes_secondary(self):
+        window, state = make_window(lazy=True)
+        for i in range(8):
+            window.add(Edge(i, i + 100))
+        assert window.candidate_count == 0
+        state.observe_degrees(Edge(3, 103))
+        state.assign(Edge(3, 103), 0)
+        promoted = window.on_replicas_changed([3, 103])
+        assert promoted >= 1
+        assert window.candidate_count >= 1
+
+    def test_max_candidates_cap(self):
+        window, state = make_window(lazy=True, max_candidates=2)
+        state.observe_degrees(Edge(50, 51))
+        state.assign(Edge(50, 51), 0)
+        for i in range(5):
+            window.add(Edge(50, 200 + i))  # all have replica bonus
+        assert window.candidate_count <= 2
+
+    def test_lazy_and_eager_same_quality(self, small_powerlaw):
+        """Lazy traversal must not degrade decisions much (paper: 'exactly
+        the same assignment decisions' when candidates are chosen right)."""
+        from repro.graph.stream import shuffled
+        from repro.core.adwise import AdwisePartitioner
+
+        stream = shuffled(small_powerlaw.edges(), seed=3)
+        lazy = AdwisePartitioner(range(4), fixed_window=16, lazy=True)
+        eager = AdwisePartitioner(range(4), fixed_window=16, lazy=False)
+        r_lazy = lazy.partition_stream(stream)
+        r_eager = eager.partition_stream(stream)
+        assert (r_lazy.replication_degree
+                <= r_eager.replication_degree * 1.15)
+
+    def test_lazy_fewer_score_computations(self, small_powerlaw):
+        from repro.graph.stream import shuffled
+        from repro.core.adwise import AdwisePartitioner
+        from repro.simtime import SimulatedClock
+
+        stream = shuffled(small_powerlaw.edges(), seed=3)
+        lazy_clock = SimulatedClock()
+        eager_clock = SimulatedClock()
+        AdwisePartitioner(range(4), fixed_window=32, lazy=True,
+                          clock=lazy_clock).partition_stream(stream)
+        AdwisePartitioner(range(4), fixed_window=32, lazy=False,
+                          clock=eager_clock).partition_stream(stream)
+        assert lazy_clock.score_computations < eager_clock.score_computations
+
+
+class TestThreshold:
+    def test_threshold_tracks_average(self):
+        window, state = make_window(epsilon=0.1)
+        state.observe_degrees(Edge(50, 51))
+        state.assign(Edge(50, 51), 0)
+        window.add(Edge(1, 2))
+        avg = window._score_sum / len(window)
+        assert window.threshold == pytest.approx(avg + 0.1)
+
+    def test_empty_window_threshold_is_epsilon(self):
+        window, _ = make_window(epsilon=0.25)
+        assert window.threshold == 0.25
