@@ -10,7 +10,7 @@ first edge — at exactly 2x the partitioning latency.
 
 from _common import emit, stream_factory
 
-from repro.bench.harness import ExperimentConfig, run_partitioning
+from repro.bench.harness import run_partitioning
 from repro.bench.reporting import format_table
 from repro.bench.workloads import BRAIN, adwise_factory
 from repro.partitioning.hdrf import HDRFPartitioner

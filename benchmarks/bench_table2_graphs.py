@@ -9,7 +9,7 @@ paper's analysis keys on), printing the corpus table.
 
 from _common import emit
 
-from repro.bench.workloads import BRAIN, ORKUT, PAPER_GRAPHS, WEB
+from repro.bench.workloads import ORKUT, PAPER_GRAPHS, WEB
 from repro.graph.stats import summarize
 
 

@@ -8,7 +8,7 @@ Fig. 7a-f and the spread staircase of Fig. 8 are visible at a glance.
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Sequence
+from typing import List, Mapping, Sequence
 
 from repro.bench.harness import LatencyRow
 

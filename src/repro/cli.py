@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 from repro.graph.io import read_graph
 from repro.graph.stream import FileEdgeStream
@@ -58,6 +58,10 @@ def build_parser() -> argparse.ArgumentParser:
                       help="disable ADWISE's clustering score")
     part.add_argument("--wall-clock", action="store_true",
                       help="measure wall-clock instead of simulated latency")
+    part.add_argument("--fast", action="store_true",
+                      help="array-backed partition state + batched scoring "
+                           "kernels (adwise/hdrf/dbh/greedy; identical "
+                           "output, higher throughput)")
     part.add_argument("--output", default=None,
                       help="write 'u v partition' lines to this file")
 
@@ -81,17 +85,28 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+#: Algorithms whose constructors take the ``fast`` state flag.
+_FAST_CAPABLE = {"adwise", "hdrf", "dbh", "greedy"}
+
+
 def _run_partition(args: argparse.Namespace) -> int:
     clock = WallClock() if args.wall_clock else SimulatedClock()
     partitions = list(range(args.partitions))
+    if args.fast and args.algorithm not in _FAST_CAPABLE:
+        print(f"error: --fast is not supported for {args.algorithm} "
+              f"(supported: {', '.join(sorted(_FAST_CAPABLE))})",
+              file=sys.stderr)
+        return 2
+    extra = {"fast": True} if args.fast else {}
     if args.algorithm == "adwise":
         partitioner = AdwisePartitioner(
             partitions,
             latency_preference_ms=args.latency_preference,
             use_clustering=not args.no_clustering,
-            clock=clock)
+            clock=clock, **extra)
     else:
-        partitioner = _ALGORITHMS[args.algorithm](partitions, clock=clock)
+        partitioner = _ALGORITHMS[args.algorithm](partitions, clock=clock,
+                                                  **extra)
     stream = FileEdgeStream(args.path)
     result = partitioner.partition_stream(stream)
     print(f"algorithm:          {result.algorithm}")

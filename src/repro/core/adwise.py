@@ -56,6 +56,11 @@ class AdwisePartitioner(StreamingPartitioner):
         Starting value of the adaptive balancing weight λ.
     max_window:
         Upper bound on ``w`` (memory guard).
+    fast:
+        Back the partitioner with an array-backed
+        :class:`~repro.partitioning.fast_state.FastPartitionState` so all
+        window scoring goes through the batched ``score_all`` kernel.
+        Produces bit-identical assignments to the legacy path.
     """
 
     name = "ADWISE"
@@ -72,8 +77,9 @@ class AdwisePartitioner(StreamingPartitioner):
                  adaptive_lambda: bool = True,
                  min_window: int = 1,
                  max_window: int = 16384,
-                 max_candidates: int = 64) -> None:
-        super().__init__(partitions, clock=clock, state=state)
+                 max_candidates: int = 64,
+                 fast: bool = False) -> None:
+        super().__init__(partitions, clock=clock, state=state, fast=fast)
         self.latency_preference_ms = latency_preference_ms
         self.use_clustering = use_clustering
         self.lazy = lazy
@@ -86,20 +92,27 @@ class AdwisePartitioner(StreamingPartitioner):
         self.max_candidates = max_candidates
         self.controller = None  # populated per stream
         self.scoring: Optional[AdwiseScoring] = None
+        self._edge_scoring: Optional[AdwiseScoring] = None
 
     # ------------------------------------------------------------------
     # StreamingPartitioner contract
     # ------------------------------------------------------------------
     def select_partition(self, edge: Edge) -> int:
-        """Single-edge fallback (used only if someone drives edge-by-edge)."""
-        scoring = self._make_scoring(total_edges=0)
-        best_partition = self.partitions[0]
-        best_score = float("-inf")
-        for partition in self.partitions:
-            s = scoring.score(edge, partition, ())
-            if s > best_score:
-                best_score = s
-                best_partition = partition
+        """Single-edge fallback (used only if someone drives edge-by-edge).
+
+        The scoring function is cached on the instance — rebuilding it per
+        edge was pure allocation overhead (its balancer only ever adapts
+        through ``after_assignment``, which this path never calls, so a
+        cached instance scores identically to a fresh one).  The cache is
+        invalidated when ``state`` or ``clock`` is swapped out, as batch
+        drivers that use partitioners as policies do between batches.
+        """
+        scoring = self._edge_scoring
+        if (scoring is None or scoring.state is not self.state
+                or scoring.clock is not self.clock):
+            scoring = self._make_scoring(total_edges=0)
+            self._edge_scoring = scoring
+        _, best_partition = scoring.best(edge, ())
         return best_partition
 
     def _make_scoring(self, total_edges: int) -> AdwiseScoring:

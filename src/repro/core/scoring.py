@@ -22,7 +22,12 @@ with three components:
 
 from __future__ import annotations
 
-from typing import Iterable, Optional
+from typing import Iterable, Optional, Tuple
+
+try:
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised only on numpy-free installs
+    np = None  # the batched kernels need a fast state, which requires numpy
 
 from repro.graph.graph import Edge
 from repro.partitioning.state import PartitionState
@@ -154,6 +159,58 @@ class AdwiseScoring:
         if self.use_clustering:
             total += self.clustering_score(edge, partition, neighborhood)
         return total
+
+    # ------------------------------------------------------------------
+    # Batched kernel (fast path)
+    # ------------------------------------------------------------------
+    def score_all(self, edge: Edge,
+                  neighborhood: Iterable[int] = ()) -> np.ndarray:
+        """Score ``edge`` against *all* partitions in one vectorised call.
+
+        Requires a :class:`~repro.partitioning.fast_state.FastPartitionState`.
+        Returns ``g(e, p)`` for every partition in spread order; the
+        arithmetic mirrors :meth:`score` operation-for-operation (same
+        IEEE-754 evaluation order), so argmax over the result is
+        bit-identical to the legacy per-partition loop.  Charges ``k``
+        score computations, matching the per-call accounting.
+        """
+        state = self.state
+        if self.clock is not None:
+            self.clock.charge_score(state.num_partitions)
+        max_size = state.max_size
+        balance = (max_size - state.sizes_vector()) / (
+            max_size - state.min_size + _EPSILON)
+        replication = (
+            state.replica_vector(edge.u) * (2.0 - self.psi(edge.u))
+            + state.replica_vector(edge.v) * (2.0 - self.psi(edge.v)))
+        total = self.current_lambda * balance + replication
+        if self.use_clustering:
+            nbrs = list(neighborhood)
+            if nbrs:
+                total += state.replica_hits(nbrs) / len(nbrs)
+        return total
+
+    def best(self, edge: Edge,
+             neighborhood: Iterable[int] = ()) -> Tuple[float, int]:
+        """Best ``(score, partition)`` for ``edge`` over the spread.
+
+        Dispatches to the batched kernel on a fast state and falls back
+        to the legacy per-partition loop otherwise; ties break toward the
+        first partition in spread order on both paths.
+        """
+        state = self.state
+        if state.is_fast:
+            scores = self.score_all(edge, neighborhood)
+            idx = int(np.argmax(scores))
+            return float(scores[idx]), state.partitions[idx]
+        best_score = float("-inf")
+        best_partition = state.partitions[0]
+        for partition in state.partitions:
+            s = self.score(edge, partition, neighborhood)
+            if s > best_score:
+                best_score = s
+                best_partition = partition
+        return best_score, best_partition
 
     def after_assignment(self) -> None:
         """Adapt λ after an edge assignment (Eq. 4)."""

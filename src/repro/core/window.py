@@ -131,16 +131,14 @@ class EdgeWindow:
     def _best_assignment(self, edge: Edge,
                          exclude_entry: Optional[int] = None
                          ) -> Tuple[float, int]:
-        """Best (score, partition) for ``edge`` over this instance's spread."""
+        """Best (score, partition) for ``edge`` over this instance's spread.
+
+        Delegates to :meth:`AdwiseScoring.best`, which scores all ``k``
+        partitions in one batched kernel call on a fast state and falls
+        back to the per-partition loop on the legacy state.
+        """
         neighborhood = self.neighborhood(edge, exclude_entry=exclude_entry)
-        best_score = float("-inf")
-        best_partition = self.scoring.state.partitions[0]
-        for partition in self.scoring.state.partitions:
-            s = self.scoring.score(edge, partition, neighborhood)
-            if s > best_score:
-                best_score = s
-                best_partition = partition
-        return best_score, best_partition
+        return self.scoring.best(edge, neighborhood)
 
     def _set_cached(self, entry: _WindowEntry, score: float,
                     partition: int) -> None:

@@ -10,7 +10,6 @@ exchange graphs with METIS/ParMETIS tooling and load published corpora.
 from __future__ import annotations
 
 import os
-from typing import List
 
 from repro.graph.graph import Graph
 

@@ -1,6 +1,7 @@
 """Vertex-cut streaming partitioning framework and baseline algorithms."""
 
 from repro.partitioning.state import PartitionState
+from repro.partitioning.fast_state import FastPartitionState
 from repro.partitioning.base import PartitionResult, StreamingPartitioner
 from repro.partitioning.metrics import (
     balance_ratio,
@@ -31,6 +32,7 @@ from repro.partitioning.partition_io import (
 
 __all__ = [
     "PartitionState",
+    "FastPartitionState",
     "PartitionResult",
     "StreamingPartitioner",
     "balance_ratio",

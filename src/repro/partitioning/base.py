@@ -14,6 +14,7 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.graph.graph import Edge
 from repro.graph.stream import EdgeStream
+from repro.partitioning.fast_state import FastPartitionState
 from repro.partitioning.state import PartitionState
 from repro.simtime import Clock, SimulatedClock
 
@@ -62,14 +63,25 @@ class StreamingPartitioner:
     Subclasses implement :meth:`select_partition` (the scoring decision for
     one edge).  Window-based algorithms override :meth:`partition_stream`
     wholesale since their control flow differs.
+
+    ``fast=True`` backs the partitioner with an array-backed
+    :class:`~repro.partitioning.fast_state.FastPartitionState`, enabling
+    the batched scoring kernels in degree-aware algorithms; the default
+    keeps the legacy dict-backed state for differential testing.
     """
 
     name = "abstract"
 
     def __init__(self, partitions: Sequence[int],
                  clock: Optional[Clock] = None,
-                 state: Optional[PartitionState] = None) -> None:
-        self.state = state if state is not None else PartitionState(partitions)
+                 state: Optional[PartitionState] = None,
+                 fast: bool = False) -> None:
+        if state is not None:
+            self.state = state
+        elif fast:
+            self.state = FastPartitionState(partitions)
+        else:
+            self.state = PartitionState(partitions)
         self.clock = clock if clock is not None else SimulatedClock()
 
     @property

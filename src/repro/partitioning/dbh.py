@@ -21,14 +21,16 @@ class DBHPartitioner(StreamingPartitioner):
 
     name = "DBH"
 
-    def __init__(self, partitions, clock=None, state=None, seed: int = 0) -> None:
-        super().__init__(partitions, clock=clock, state=state)
+    def __init__(self, partitions, clock=None, state=None, seed: int = 0,
+                 fast: bool = False) -> None:
+        super().__init__(partitions, clock=clock, state=state, fast=fast)
         self._seed = seed
 
     def select_partition(self, edge: Edge) -> int:
         self.clock.charge_score()
-        deg_u = self.state.degree_of(edge.u)
-        deg_v = self.state.degree_of(edge.v)
+        # Paired lookup: one call into the (possibly array-backed) degree
+        # table instead of two dict probes.
+        deg_u, deg_v = self.state.degree_pair(edge.u, edge.v)
         if deg_u < deg_v:
             anchor = edge.u
         elif deg_v < deg_u:

@@ -1,0 +1,332 @@
+"""Array-backed partition state: the fast path of the vertex cache.
+
+:class:`FastPartitionState` is a drop-in replacement for
+:class:`~repro.partitioning.state.PartitionState` that stores the vertex
+cache in flat arrays instead of per-vertex dicts and sets.  Vertex ids
+are interned to a dense index on first sight; each derived quantity then
+lives in the representation its consumers read fastest:
+
+* replica membership is kept twice — as a ``(vertices, k)`` boolean
+  matrix whose rows are the indicator vectors ``1{p in R_v}`` the
+  batched scoring kernels (:meth:`repro.core.scoring.AdwiseScoring.
+  score_all`, :meth:`repro.partitioning.hdrf.HDRFPartitioner.score_all`)
+  consume wholesale, and as per-vertex integer bitmasks for the scalar
+  membership tests and the set algebra of the greedy baseline (Python
+  int bit-ops beat NumPy on single rows of width k),
+* the partial degree table stays a plain vertex-keyed dict — no kernel
+  consumes degrees as a vector, and a dict read is the fastest scalar
+  path — while partition sizes live in a flat Python list mirrored into
+  an ``int64`` vector for the kernels,
+* max/min partition sizes use the same incremental histogram as the
+  legacy state.
+
+The legacy dict API is preserved for reading: every query/mutation
+*method* of ``PartitionState`` behaves identically, and ``replica_sets``
+/ ``partition_edges`` are materialised on access (aggregate/validation
+paths only — the hot loops never touch them).  The one deliberate
+divergence: those two attributes are throwaway **snapshots**, so writes
+to them are silently discarded, whereas the legacy class exposes its
+live dicts.  All mutation must go through ``observe_degrees`` /
+``assign`` — which is the only way the shipped code mutates state.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Set, Tuple
+
+try:
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised only on numpy-free installs
+    np = None
+
+from repro.graph.graph import Edge
+from repro.partitioning.state import bump_size_histogram
+
+#: Initial replica-matrix row capacity; doubled on demand.
+_INITIAL_CAPACITY = 1024
+
+#: Queued replica-matrix writes are force-drained at this size so the
+#: queue stays bounded even when no vectorised reader ever runs.
+_SYNC_THRESHOLD = 8192
+
+
+class FastPartitionState:
+    """Vertex cache + partition sizes backed by flat arrays.
+
+    API-compatible with :class:`~repro.partitioning.state.PartitionState`;
+    additionally exposes the vectorised accessors ``sizes_vector``,
+    ``replica_vector``, ``replica_bits`` and ``replica_hits`` that the
+    batched scoring kernels and fast baselines build on.
+    """
+
+    #: Capability marker the scoring kernels dispatch on.
+    is_fast = True
+
+    def __init__(self, partitions: Sequence[int]) -> None:
+        if np is None:
+            raise ImportError(
+                "FastPartitionState requires numpy; install it or use the "
+                "dict-backed PartitionState (fast=False)")
+        ids = list(partitions)
+        if not ids:
+            raise ValueError("at least one partition required")
+        if len(set(ids)) != len(ids):
+            raise ValueError(f"duplicate partition ids: {ids}")
+        self._partitions: List[int] = ids
+        self._pindex: Dict[int, int] = {p: i for i, p in enumerate(ids)}
+        k = len(ids)
+        self._sizes_list: List[int] = [0] * k
+        # NumPy mirror of the sizes list, synced lazily on vector reads.
+        self._sizes = np.zeros(k, dtype=np.int64)
+        self._sizes_dirty = False
+        # Vertex tables, indexed by the dense intern index.
+        self._vindex: Dict[int, int] = {}
+        self.degree: Dict[int, int] = {}
+        self._replica_bits: List[int] = []
+        self._capacity = _INITIAL_CAPACITY
+        self._replicas = np.zeros((self._capacity, k), dtype=bool)
+        # Matrix writes are deferred: assign() queues (row, column) pairs
+        # and the matrix is synced when a vectorised reader needs it or
+        # the queue reaches _SYNC_THRESHOLD, so partitioners that never
+        # touch the matrix (DBH, greedy) pay only an occasional batched
+        # drain — and the queue stays bounded on arbitrarily long streams.
+        self._pending_replicas: List[Tuple[int, int]] = []
+        self._zero_row = np.zeros(k, dtype=bool)
+        self._zero_row.setflags(write=False)
+        self.max_degree: int = 1
+        self.assigned_edges: int = 0
+        self._max_size = 0
+        self._min_size = 0
+        self._size_histogram: Dict[int, int] = {0: k}
+        self._total_replicas = 0
+        self._replicated_vertices = 0
+
+    # ------------------------------------------------------------------
+    # Vertex interning
+    # ------------------------------------------------------------------
+    def _row(self, vertex: int) -> int:
+        """Dense index of ``vertex``, interning it on first sight."""
+        idx = self._vindex.get(vertex)
+        if idx is None:
+            idx = len(self._vindex)
+            self._vindex[vertex] = idx
+            self._replica_bits.append(0)
+            if idx >= self._capacity:
+                self._grow()
+        return idx
+
+    def _grow(self) -> None:
+        capacity = self._capacity * 2
+        replicas = np.zeros((capacity, len(self._partitions)), dtype=bool)
+        replicas[:self._capacity] = self._replicas
+        self._replicas = replicas
+        self._capacity = capacity
+
+    # ------------------------------------------------------------------
+    # Queries (PartitionState API)
+    # ------------------------------------------------------------------
+    @property
+    def partitions(self) -> List[int]:
+        """Partition ids this state may assign to (the instance's spread)."""
+        return self._partitions
+
+    @property
+    def num_partitions(self) -> int:
+        return len(self._partitions)
+
+    def replicas(self, vertex: int) -> FrozenSet[int]:
+        """Replica set ``R_v`` (empty if the vertex was never seen)."""
+        idx = self._vindex.get(vertex)
+        if idx is None:
+            return frozenset()
+        bits = self._replica_bits[idx]
+        partitions = self._partitions
+        out = []
+        while bits:
+            low = bits & -bits
+            out.append(partitions[low.bit_length() - 1])
+            bits ^= low
+        return frozenset(out)
+
+    def is_replicated_on(self, vertex: int, partition: int) -> bool:
+        """Indicator ``1{p in R_v}`` from the scoring functions."""
+        idx = self._vindex.get(vertex)
+        if idx is None:
+            return False
+        j = self._pindex.get(partition)
+        if j is None:
+            return False
+        return bool((self._replica_bits[idx] >> j) & 1)
+
+    def degree_of(self, vertex: int) -> int:
+        """Observed (partial) degree of ``vertex`` so far in the stream."""
+        return self.degree.get(vertex, 0)
+
+    def degree_pair(self, u: int, v: int) -> Tuple[int, int]:
+        """Degrees of both endpoints in one call (single-edge hot paths)."""
+        get = self.degree.get
+        return get(u, 0), get(v, 0)
+
+    @property
+    def max_size(self) -> int:
+        return self._max_size
+
+    @property
+    def min_size(self) -> int:
+        return self._min_size
+
+    def size(self, partition: int) -> int:
+        return self._sizes_list[self._pindex[partition]]
+
+    def imbalance(self) -> float:
+        """Current imbalance ι = (maxsize − minsize) / maxsize (paper §III-C)."""
+        max_size = self._max_size
+        if max_size == 0:
+            return 0.0
+        return (max_size - self._min_size) / max_size
+
+    # ------------------------------------------------------------------
+    # Vectorised accessors (batched scoring kernel API)
+    # ------------------------------------------------------------------
+    def sizes_vector(self) -> np.ndarray:
+        """Partition sizes in spread order (lazily synced read-only view)."""
+        if self._sizes_dirty:
+            self._sizes[:] = self._sizes_list
+            self._sizes_dirty = False
+        return self._sizes
+
+    def sizes_list(self) -> List[int]:
+        """Partition sizes in spread order as a plain list (scalar paths)."""
+        return self._sizes_list
+
+    def _sync_replicas(self) -> None:
+        """Apply queued replica-matrix writes before a vectorised read."""
+        pending = self._pending_replicas
+        if len(pending) > 32:
+            rows, cols = zip(*pending)
+            self._replicas[list(rows), list(cols)] = True
+        else:
+            replicas = self._replicas
+            for idx, j in pending:
+                replicas[idx, j] = True
+        pending.clear()
+
+    def replica_vector(self, vertex: int) -> np.ndarray:
+        """Boolean indicator row ``[1{p in R_v} for p in partitions]``.
+
+        Returns a shared all-zero row for unseen vertices; callers must
+        treat the result as read-only.
+        """
+        if self._pending_replicas:
+            self._sync_replicas()
+        idx = self._vindex.get(vertex)
+        if idx is None:
+            return self._zero_row
+        return self._replicas[idx]
+
+    def replica_bits(self, vertex: int) -> int:
+        """Replica set of ``vertex`` as a bitmask over spread positions."""
+        idx = self._vindex.get(vertex)
+        return self._replica_bits[idx] if idx is not None else 0
+
+    def replica_hits(self, vertices: Iterable[int]) -> np.ndarray:
+        """Per-partition count of ``vertices`` replicated there.
+
+        The vectorised form of the clustering-score numerator: one row
+        gather + column sum instead of ``|N| × k`` indicator probes.
+        """
+        if self._pending_replicas:
+            self._sync_replicas()
+        vindex = self._vindex
+        rows = [idx for idx in (vindex.get(v) for v in vertices)
+                if idx is not None]
+        if not rows:
+            return np.zeros(len(self._partitions), dtype=np.int64)
+        return self._replicas[rows].sum(axis=0, dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def observe_degrees(self, edge: Edge) -> None:
+        """Update the partial degree table for an edge seen in the stream."""
+        degree = self.degree
+        for vertex in (edge.u, edge.v):
+            d = degree.get(vertex, 0) + 1
+            degree[vertex] = d
+            if d > self.max_degree:
+                self.max_degree = d
+
+    def assign(self, edge: Edge, partition: int) -> List[int]:
+        """Assign ``edge`` to ``partition``; return vertices newly replicated."""
+        j = self._pindex.get(partition)
+        if j is None:
+            raise ValueError(
+                f"partition {partition} not in this instance's spread "
+                f"{self._partitions}")
+        bit = 1 << j
+        changed: List[int] = []
+        vindex = self._vindex
+        for vertex in (edge.u, edge.v):
+            idx = vindex.get(vertex)
+            if idx is None:
+                idx = self._row(vertex)
+            bits = self._replica_bits[idx]
+            if not bits & bit:
+                if bits == 0:
+                    self._replicated_vertices += 1
+                self._replica_bits[idx] = bits | bit
+                self._pending_replicas.append((idx, j))
+                self._total_replicas += 1
+                changed.append(vertex)
+        if len(self._pending_replicas) >= _SYNC_THRESHOLD:
+            self._sync_replicas()
+        old_size = self._sizes_list[j]
+        new_size = old_size + 1
+        self._sizes_list[j] = new_size
+        self._sizes_dirty = True
+        self.assigned_edges += 1
+        self._max_size, self._min_size = bump_size_histogram(
+            self._size_histogram, old_size, new_size,
+            self._max_size, self._min_size)
+        return changed
+
+    # ------------------------------------------------------------------
+    # Aggregates
+    # ------------------------------------------------------------------
+    def total_replicas(self) -> int:
+        return self._total_replicas
+
+    def replication_degree(self) -> float:
+        """Average |R_v| over vertices seen by this instance (Eq. 1)."""
+        if self._replicated_vertices == 0:
+            return 0.0
+        return self._total_replicas / self._replicated_vertices
+
+    def copy_degrees_from(self, other) -> None:
+        """Adopt another state's degree table (restreaming support)."""
+        self.degree = dict(other.degree)
+        self.max_degree = other.max_degree
+
+    # ------------------------------------------------------------------
+    # Legacy dict views (aggregate / validation paths — O(n) snapshots)
+    # ------------------------------------------------------------------
+    @property
+    def replica_sets(self) -> Dict[int, Set[int]]:
+        """Replica sets as a dict *snapshot* (legacy read API).
+
+        Unlike the legacy class this is not live storage — mutating the
+        returned dict has no effect on the state.
+        """
+        return {vertex: set(self.replicas(vertex))
+                for vertex, idx in self._vindex.items()
+                if self._replica_bits[idx]}
+
+    @property
+    def partition_edges(self) -> Dict[int, int]:
+        """Partition sizes as a dict *snapshot* (legacy read API).
+
+        Unlike the legacy class this is not live storage — mutating the
+        returned dict has no effect on the state.
+        """
+        return dict(zip(self._partitions, self._sizes_list))
+

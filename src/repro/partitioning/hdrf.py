@@ -14,6 +14,11 @@ paper uses the authors' recommended λ = 1.1.
 
 from __future__ import annotations
 
+try:
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised only on numpy-free installs
+    np = None  # score_all needs a fast state, which requires numpy
+
 from repro.graph.graph import Edge
 from repro.partitioning.base import StreamingPartitioner
 
@@ -26,8 +31,8 @@ class HDRFPartitioner(StreamingPartitioner):
     name = "HDRF"
 
     def __init__(self, partitions, clock=None, state=None,
-                 lam: float = 1.1) -> None:
-        super().__init__(partitions, clock=clock, state=state)
+                 lam: float = 1.1, fast: bool = False) -> None:
+        super().__init__(partitions, clock=clock, state=state, fast=fast)
         if lam < 0:
             raise ValueError(f"lambda must be non-negative, got {lam}")
         self.lam = lam
@@ -37,8 +42,7 @@ class HDRFPartitioner(StreamingPartitioner):
     # ------------------------------------------------------------------
     def replication_score(self, edge: Edge, partition: int) -> float:
         """Degree-weighted replication reward ``C_rep``."""
-        deg_u = self.state.degree_of(edge.u)
-        deg_v = self.state.degree_of(edge.v)
+        deg_u, deg_v = self.state.degree_pair(edge.u, edge.v)
         total = deg_u + deg_v
         # Relative degrees θ; equal split when both degrees are zero.
         theta_u = deg_u / total if total > 0 else 0.5
@@ -61,7 +65,30 @@ class HDRFPartitioner(StreamingPartitioner):
         return (self.replication_score(edge, partition)
                 + self.lam * self.balance_score(partition))
 
+    def score_all(self, edge: Edge) -> np.ndarray:
+        """``C(p)`` for all partitions in one batched kernel call.
+
+        Requires a fast state.  Mirrors :meth:`score` operation-for-
+        operation so argmax matches the legacy loop bit-for-bit; charges
+        ``k`` score computations like the loop does.
+        """
+        state = self.state
+        self.clock.charge_score(state.num_partitions)
+        deg_u, deg_v = state.degree_pair(edge.u, edge.v)
+        total = deg_u + deg_v
+        theta_u = deg_u / total if total > 0 else 0.5
+        theta_v = 1.0 - theta_u
+        replication = (
+            state.replica_vector(edge.u) * (1.0 + (1.0 - theta_u))
+            + state.replica_vector(edge.v) * (1.0 + (1.0 - theta_v)))
+        max_size = state.max_size
+        balance = (max_size - state.sizes_vector()) / (
+            _EPSILON + max_size - state.min_size)
+        return replication + self.lam * balance
+
     def select_partition(self, edge: Edge) -> int:
+        if self.state.is_fast:
+            return self.partitions[int(np.argmax(self.score_all(edge)))]
         best_partition = self.partitions[0]
         best_score = float("-inf")
         for partition in self.partitions:

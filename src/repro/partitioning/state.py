@@ -16,6 +16,26 @@ from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set
 from repro.graph.graph import Edge
 
 
+def bump_size_histogram(histogram: Dict[int, int], old_size: int,
+                        new_size: int, max_size: int, min_size: int
+                        ) -> "tuple[int, int]":
+    """Move one partition from ``old_size`` to ``new_size`` in ``histogram``.
+
+    Returns the updated ``(max_size, min_size)``.  Shared by the legacy and
+    fast states so the O(1) max/min invariant lives in exactly one place;
+    sizes only ever grow by 1, which is what makes the min update exact.
+    """
+    histogram[old_size] -= 1
+    if histogram[old_size] == 0:
+        del histogram[old_size]
+    histogram[new_size] = histogram.get(new_size, 0) + 1
+    if new_size > max_size:
+        max_size = new_size
+    if old_size == min_size and old_size not in histogram:
+        min_size = old_size + 1
+    return max_size, min_size
+
+
 class PartitionState:
     """Vertex cache + partition sizes for one partitioner instance.
 
@@ -26,6 +46,10 @@ class PartitionState:
         partitioning this is a strict subset of the global partition set
         (the instance's *spread*).
     """
+
+    #: Capability marker: the batched scoring kernels dispatch on this
+    #: (see :class:`repro.partitioning.fast_state.FastPartitionState`).
+    is_fast = False
 
     def __init__(self, partitions: Sequence[int]) -> None:
         ids = list(partitions)
@@ -69,6 +93,11 @@ class PartitionState:
     def degree_of(self, vertex: int) -> int:
         """Observed (partial) degree of ``vertex`` so far in the stream."""
         return self.degree.get(vertex, 0)
+
+    def degree_pair(self, u: int, v: int) -> tuple:
+        """Degrees of both endpoints in one call (single-edge hot paths)."""
+        get = self.degree.get
+        return get(u, 0), get(v, 0)
 
     @property
     def max_size(self) -> int:
@@ -128,16 +157,9 @@ class PartitionState:
         self.partition_edges[partition] = new_size
         self.assigned_edges += 1
         # Incremental histogram update keeps max/min O(1).
-        hist = self._size_histogram
-        hist[old_size] -= 1
-        if hist[old_size] == 0:
-            del hist[old_size]
-        hist[new_size] = hist.get(new_size, 0) + 1
-        if new_size > self._max_size:
-            self._max_size = new_size
-        if old_size == self._min_size and old_size not in hist:
-            # Sizes grow by exactly 1, so the new minimum is old_size + 1.
-            self._min_size = old_size + 1
+        self._max_size, self._min_size = bump_size_histogram(
+            self._size_histogram, old_size, new_size,
+            self._max_size, self._min_size)
         return changed
 
     # ------------------------------------------------------------------

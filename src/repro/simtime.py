@@ -58,30 +58,35 @@ class SimulatedClock(Clock):
             raise ValueError("clock costs must be non-negative")
         self.score_cost_ms = score_cost_ms
         self.assignment_cost_ms = assignment_cost_ms
-        self._now_ms = 0.0
+        self._advanced_ms = 0.0
         self.score_computations = 0
         self.assignments = 0
 
     def now(self) -> float:
-        return self._now_ms
+        # Derived from the integer event counters rather than accumulated
+        # per charge, so simulated time is exactly independent of charge
+        # granularity: k calls of charge_score(1) and one charge_score(k)
+        # read the same time.  The batched scoring kernels rely on this
+        # for bit-identical adaptive-controller behaviour.
+        return (self._advanced_ms
+                + self.score_computations * self.score_cost_ms
+                + self.assignments * self.assignment_cost_ms)
 
     def charge_score(self, count: int = 1) -> None:
         self.score_computations += count
-        self._now_ms += count * self.score_cost_ms
 
     def charge_assignment(self, count: int = 1) -> None:
         self.assignments += count
-        self._now_ms += count * self.assignment_cost_ms
 
     def advance(self, ms: float) -> None:
         """Advance the clock by ``ms`` milliseconds (e.g. IO stall)."""
         if ms < 0:
             raise ValueError("cannot advance a clock backwards")
-        self._now_ms += ms
+        self._advanced_ms += ms
 
     def reset(self) -> None:
         """Reset time and counters to zero."""
-        self._now_ms = 0.0
+        self._advanced_ms = 0.0
         self.score_computations = 0
         self.assignments = 0
 

@@ -1,6 +1,5 @@
 """Integration-level tests for the assembled ADWISE partitioner."""
 
-import pytest
 
 from repro.graph.graph import Edge, Graph
 from repro.graph.stream import InMemoryEdgeStream, shuffled

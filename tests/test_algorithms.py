@@ -4,7 +4,7 @@ import math
 
 import pytest
 
-from repro.graph.graph import Edge, Graph
+from repro.graph.graph import Graph
 from repro.engine.placement import Placement
 from repro.engine.runtime import Engine
 from repro.engine.algorithms import (

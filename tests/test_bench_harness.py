@@ -6,7 +6,6 @@ from repro.graph.generators import powerlaw_cluster_graph
 from repro.graph.stream import shuffled
 from repro.core.adwise import AdwisePartitioner
 from repro.partitioning.hdrf import HDRFPartitioner
-from repro.partitioning.hashing import HashPartitioner
 from repro.bench.harness import (
     ExperimentConfig,
     check_balance,

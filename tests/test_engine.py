@@ -6,7 +6,7 @@ from repro.graph.graph import Edge, Graph
 from repro.engine.cost import CostModel, cost_model_for
 from repro.engine.placement import Placement
 from repro.engine.runtime import Engine
-from repro.engine.vertex_program import Context, VertexProgram
+from repro.engine.vertex_program import VertexProgram
 
 
 @pytest.fixture

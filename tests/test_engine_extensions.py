@@ -2,10 +2,10 @@
 
 import pytest
 
-from repro.graph.graph import Edge, Graph
+from repro.graph.graph import Graph
 from repro.engine.placement import Placement
 from repro.engine.runtime import Engine
-from repro.engine.vertex_program import Context, VertexProgram
+from repro.engine.vertex_program import VertexProgram
 from repro.engine.algorithms import (
     KCore,
     LabelPropagation,

@@ -1,0 +1,263 @@
+"""Differential tests: the fast path must equal the legacy path exactly.
+
+The array-backed :class:`FastPartitionState` plus the batched scoring
+kernels are only admissible because they are *bit-identical* to the
+dict-backed legacy path — same assignments, same replication degree,
+same imbalance, same simulated latency.  These tests enforce that
+contract with property-based random streams and targeted unit checks of
+the state API itself.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.adwise import AdwisePartitioner
+from repro.core.scoring import AdaptiveBalancer, AdwiseScoring
+from repro.graph.graph import Edge
+from repro.graph.stream import InMemoryEdgeStream
+from repro.partitioning.dbh import DBHPartitioner
+from repro.partitioning.fast_state import FastPartitionState
+from repro.partitioning.greedy import GreedyPartitioner
+from repro.partitioning.hdrf import HDRFPartitioner
+from repro.partitioning.state import PartitionState
+from repro.partitioning.validate import validate_result
+from repro.simtime import SimulatedClock
+
+
+# ---------------------------------------------------------------------------
+# Strategies
+# ---------------------------------------------------------------------------
+
+edge_lists = st.lists(
+    st.tuples(st.integers(0, 30), st.integers(0, 30)).filter(
+        lambda t: t[0] != t[1]),
+    min_size=1, max_size=100)
+
+partition_counts = st.integers(2, 9)
+
+
+def stream_of(pairs):
+    return InMemoryEdgeStream([Edge(u, v) for u, v in pairs])
+
+
+def run_both(factory, pairs):
+    legacy = factory(fast=False).partition_stream(stream_of(pairs))
+    fast = factory(fast=True).partition_stream(stream_of(pairs))
+    return legacy, fast
+
+
+def assert_identical(legacy, fast):
+    assert fast.assignments == legacy.assignments
+    assert fast.replication_degree == legacy.replication_degree
+    assert fast.imbalance == legacy.imbalance
+    assert fast.latency_ms == legacy.latency_ms
+    assert fast.score_computations == legacy.score_computations
+
+
+# ---------------------------------------------------------------------------
+# Property-based parity on random streams
+# ---------------------------------------------------------------------------
+
+@settings(deadline=None, max_examples=60)
+@given(edge_lists, partition_counts)
+def test_hdrf_parity(pairs, k):
+    legacy, fast = run_both(
+        lambda fast: HDRFPartitioner(range(k), fast=fast), pairs)
+    assert_identical(legacy, fast)
+
+
+@settings(deadline=None, max_examples=60)
+@given(edge_lists, partition_counts)
+def test_greedy_parity(pairs, k):
+    legacy, fast = run_both(
+        lambda fast: GreedyPartitioner(range(k), fast=fast), pairs)
+    assert_identical(legacy, fast)
+
+
+@settings(deadline=None, max_examples=60)
+@given(edge_lists, partition_counts)
+def test_dbh_parity(pairs, k):
+    legacy, fast = run_both(
+        lambda fast: DBHPartitioner(range(k), fast=fast), pairs)
+    assert_identical(legacy, fast)
+
+
+@settings(deadline=None, max_examples=25)
+@given(edge_lists, partition_counts)
+def test_adwise_adaptive_parity(pairs, k):
+    """Full ADWISE: adaptive window + adaptive λ + clustering score."""
+    legacy, fast = run_both(
+        lambda fast: AdwisePartitioner(range(k), latency_preference_ms=5.0,
+                                       fast=fast), pairs)
+    assert_identical(legacy, fast)
+
+
+@settings(deadline=None, max_examples=25)
+@given(edge_lists, partition_counts, st.integers(1, 16))
+def test_adwise_fixed_window_parity(pairs, k, window):
+    legacy, fast = run_both(
+        lambda fast: AdwisePartitioner(range(k), fixed_window=window,
+                                       fast=fast), pairs)
+    assert_identical(legacy, fast)
+
+
+@settings(deadline=None, max_examples=20)
+@given(edge_lists, partition_counts)
+def test_adwise_no_clustering_parity(pairs, k):
+    legacy, fast = run_both(
+        lambda fast: AdwisePartitioner(range(k), latency_preference_ms=5.0,
+                                       use_clustering=False, fast=fast),
+        pairs)
+    assert_identical(legacy, fast)
+
+
+@settings(deadline=None, max_examples=40)
+@given(edge_lists, partition_counts)
+def test_fast_state_matches_legacy_after_identical_mutations(pairs, k):
+    """Drive both states through the same mutation sequence directly."""
+    legacy = PartitionState(range(k))
+    fast = FastPartitionState(range(k))
+    for i, (u, v) in enumerate(pairs):
+        edge = Edge(u, v).canonical()
+        legacy.observe_degrees(edge)
+        fast.observe_degrees(edge)
+        target = (u + v + i) % k
+        assert fast.assign(edge, target) == legacy.assign(edge, target)
+        assert fast.max_size == legacy.max_size
+        assert fast.min_size == legacy.min_size
+        assert fast.imbalance() == legacy.imbalance()
+    assert fast.replica_sets == legacy.replica_sets
+    assert fast.partition_edges == legacy.partition_edges
+    assert fast.degree == legacy.degree
+    assert fast.max_degree == legacy.max_degree
+    assert fast.total_replicas() == legacy.total_replicas()
+    assert fast.replication_degree() == legacy.replication_degree()
+    for v in range(31):
+        assert fast.replicas(v) == legacy.replicas(v)
+        assert fast.degree_of(v) == legacy.degree_of(v)
+        for p in range(k):
+            assert fast.is_replicated_on(v, p) == legacy.is_replicated_on(v, p)
+
+
+@settings(deadline=None, max_examples=30)
+@given(edge_lists, partition_counts)
+def test_score_all_matches_scalar_scores(pairs, k):
+    """The batched ADWISE kernel equals k scalar score() calls exactly."""
+    state = FastPartitionState(range(k))
+    scoring = AdwiseScoring(state, balancer=AdaptiveBalancer(len(pairs)))
+    neighborhood = {pairs[0][0], pairs[0][1]}
+    for i, (u, v) in enumerate(pairs):
+        edge = Edge(u, v).canonical()
+        state.observe_degrees(edge)
+        batched = scoring.score_all(edge, neighborhood)
+        scalar = [scoring.score(edge, p, neighborhood) for p in range(k)]
+        assert list(batched) == scalar
+        state.assign(edge, (u + i) % k)
+        scoring.after_assignment()
+
+
+# ---------------------------------------------------------------------------
+# Fast state API unit tests
+# ---------------------------------------------------------------------------
+
+class TestFastPartitionState:
+    def test_rejects_empty_spread(self):
+        with pytest.raises(ValueError):
+            FastPartitionState([])
+
+    def test_rejects_duplicate_partitions(self):
+        with pytest.raises(ValueError):
+            FastPartitionState([1, 1])
+
+    def test_rejects_assignment_outside_spread(self):
+        state = FastPartitionState([0, 1])
+        with pytest.raises(ValueError):
+            state.assign(Edge(1, 2), 5)
+
+    def test_non_contiguous_partition_ids(self):
+        state = FastPartitionState([7, 3, 11])
+        state.assign(Edge(1, 2), 3)
+        assert state.replicas(1) == frozenset({3})
+        assert state.size(3) == 1
+        assert state.partition_edges == {7: 0, 3: 1, 11: 0}
+
+    def test_vertex_table_growth(self):
+        state = FastPartitionState(range(4))
+        for i in range(3000):
+            state.assign(Edge(2 * i, 2 * i + 1), i % 4)
+        assert state.assigned_edges == 3000
+        assert state.total_replicas() == 6000
+        assert state.replica_vector(0).any()
+
+    def test_replica_vector_unseen_vertex_is_zero(self):
+        state = FastPartitionState(range(4))
+        assert not state.replica_vector(99).any()
+
+    def test_replica_hits_counts_neighborhood(self):
+        state = FastPartitionState(range(3))
+        state.assign(Edge(1, 2), 0)
+        state.assign(Edge(3, 4), 1)
+        hits = state.replica_hits([1, 3, 99])
+        assert list(hits) == [1, 1, 0]
+
+    def test_copy_degrees_between_state_kinds(self):
+        legacy = PartitionState(range(2))
+        legacy.observe_degrees(Edge(1, 2))
+        legacy.observe_degrees(Edge(1, 3))
+        fast = FastPartitionState(range(2))
+        fast.copy_degrees_from(legacy)
+        assert fast.degree_of(1) == 2
+        assert fast.max_degree == legacy.max_degree
+        # And back: a legacy state can adopt a fast state's table.
+        other = PartitionState(range(2))
+        other.copy_degrees_from(fast)
+        assert other.degree_of(1) == 2
+
+    def test_validate_result_accepts_fast_state(self):
+        partitioner = HDRFPartitioner(range(4), fast=True)
+        edges = [Edge(i, i + 1) for i in range(40)]
+        result = partitioner.partition_stream(InMemoryEdgeStream(edges))
+        report = validate_result(result)
+        assert report.ok, report.problems
+
+
+class TestFastFlagWiring:
+    def test_fast_flag_selects_fast_state(self):
+        assert isinstance(HDRFPartitioner(range(2), fast=True).state,
+                          FastPartitionState)
+        assert isinstance(HDRFPartitioner(range(2)).state, PartitionState)
+
+    def test_explicit_state_wins_over_flag(self):
+        state = PartitionState(range(2))
+        partitioner = HDRFPartitioner(range(2), state=state, fast=True)
+        assert partitioner.state is state
+
+    def test_adwise_select_partition_caches_scoring(self):
+        partitioner = AdwisePartitioner(range(4), fast=True)
+        partitioner.partition_edge(Edge(1, 2))
+        scoring = partitioner._edge_scoring
+        assert scoring is not None
+        partitioner.partition_edge(Edge(2, 3))
+        assert partitioner._edge_scoring is scoring
+
+    def test_adwise_scoring_cache_follows_state_swap(self):
+        """Batch drivers reassign .state/.clock between batches (hovercut
+        policy pattern); the cached scoring must track the live state."""
+        partitioner = AdwisePartitioner(range(4))
+        partitioner.partition_edge(Edge(1, 2))
+        partitioner.state = PartitionState(range(4))
+        partitioner.clock = SimulatedClock()
+        partitioner.partition_edge(Edge(3, 4))
+        assert partitioner._edge_scoring.state is partitioner.state
+        assert partitioner._edge_scoring.clock is partitioner.clock
+        # The swapped-in clock was actually charged.
+        assert partitioner.clock.score_computations > 0
+
+    def test_simulated_clock_batch_equals_singles(self):
+        batched = SimulatedClock()
+        singles = SimulatedClock()
+        batched.charge_score(17)
+        for _ in range(17):
+            singles.charge_score()
+        assert batched.now() == singles.now()

@@ -1,22 +1,31 @@
-"""Tests for repository tooling (EXPERIMENTS.md assembly)."""
+"""Tests for repository tooling (EXPERIMENTS.md assembly, bench gates)."""
 
 import importlib.util
+import json
 import os
-import sys
 
 import pytest
 
 ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 SCRIPT = os.path.join(ROOT, "tools", "build_experiments_md.py")
+REGRESSION_SCRIPT = os.path.join(ROOT, "tools", "check_bench_regression.py")
+
+
+def _load(name, path):
+    spec = importlib.util.spec_from_file_location(name, path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
 
 
 @pytest.fixture
 def builder():
-    spec = importlib.util.spec_from_file_location("build_experiments_md",
-                                                  SCRIPT)
-    module = importlib.util.module_from_spec(spec)
-    spec.loader.exec_module(module)
-    return module
+    return _load("build_experiments_md", SCRIPT)
+
+
+@pytest.fixture
+def regression():
+    return _load("check_bench_regression", REGRESSION_SCRIPT)
 
 
 class TestExperimentsBuilder:
@@ -45,6 +54,100 @@ class TestExperimentsBuilder:
             if stem.startswith(("fig", "table", "ablation", "window")):
                 expected_prefix = f"bench_{stem.split('_')[0]}"
                 assert any(b.startswith(expected_prefix) for b in benches), stem
+
+
+def _report(gates=None, **speedups):
+    return {
+        "workload": "powerlaw-smoke",
+        "gates": gates or {},
+        "results": [{"algorithm": name, "speedup": speedup, "parity": True,
+                     "fast_eps": 1000.0}
+                    for name, speedup in speedups.items()],
+    }
+
+
+class TestBenchRegressionChecker:
+    def test_identical_reports_pass(self, regression):
+        report = _report(HDRF=3.0, DBH=1.0)
+        assert regression.compare(report, report, tolerance=0.2) == ([], [])
+
+    def test_within_tolerance_passes(self, regression):
+        base = _report(HDRF=3.0)
+        fresh = _report(HDRF=2.5)  # -17% is inside the 20% budget
+        assert regression.compare(base, fresh, tolerance=0.2) == ([], [])
+
+    def test_regression_beyond_tolerance_fails(self, regression):
+        base = _report(HDRF=3.0)
+        fresh = _report(HDRF=2.0)
+        problems, _ = regression.compare(base, fresh, tolerance=0.2)
+        assert problems and "HDRF" in problems[0]
+
+    def test_drop_above_absolute_gate_is_warning(self, regression):
+        """Cross-machine ratio spread: above the gate -> warn, don't fail."""
+        base = _report(gates={"HDRF": 1.3}, HDRF=3.0)
+        fresh = _report(HDRF=2.0)  # -33%, but well above the 1.3x gate
+        problems, warnings = regression.compare(base, fresh, tolerance=0.2)
+        assert problems == []
+        assert warnings and "HDRF" in warnings[0]
+
+    def test_drop_below_absolute_gate_fails(self, regression):
+        base = _report(gates={"HDRF": 1.3}, HDRF=3.0)
+        fresh = _report(HDRF=1.1)
+        problems, _ = regression.compare(base, fresh, tolerance=0.2)
+        assert problems and "HDRF" in problems[0]
+
+    def test_below_gate_fails_even_within_relative_tolerance(self, regression):
+        """The checker is CI's only gate: the absolute floor must bind
+        even when the relative drop is small."""
+        base = _report(gates={"HDRF": 1.3}, HDRF=1.35)
+        fresh = _report(HDRF=1.2)  # -11% relative, but under the 1.3x gate
+        problems, _ = regression.compare(base, fresh, tolerance=0.2)
+        assert problems and "absolute gate" in problems[0]
+
+    def test_parity_break_fails(self, regression):
+        base = _report(HDRF=3.0)
+        fresh = _report(HDRF=3.0)
+        fresh["results"][0]["parity"] = False
+        problems, _ = regression.compare(base, fresh, tolerance=0.2)
+        assert any("parity" in p for p in problems)
+
+    def test_missing_algorithm_fails(self, regression):
+        base = _report(HDRF=3.0, Greedy=2.0)
+        fresh = _report(HDRF=3.0)
+        problems, _ = regression.compare(base, fresh, tolerance=0.2)
+        assert any("Greedy" in p for p in problems)
+
+    def test_workload_mismatch_fails(self, regression):
+        base = _report(HDRF=3.0)
+        fresh = _report(HDRF=3.0)
+        fresh["workload"] = "other"
+        problems, _ = regression.compare(base, fresh, tolerance=0.2)
+        assert problems
+
+    def test_committed_baseline_is_valid(self, regression):
+        """BENCH_seed.json must parse, carry gates, and pass vs itself."""
+        baseline = regression.load(regression.DEFAULT_BASELINE)
+        assert baseline["results"], "baseline has no rows"
+        assert baseline.get("gates"), "baseline must embed absolute gates"
+        assert regression.compare(baseline, baseline,
+                                  tolerance=0.2) == ([], [])
+        for row in baseline["results"]:
+            assert row["parity"], row["algorithm"]
+
+    def test_cli_pass_and_fail(self, regression, tmp_path):
+        base = _report(HDRF=3.0)
+        fresh_ok = _report(HDRF=2.9)
+        fresh_bad = _report(HDRF=1.0)
+        base_path = tmp_path / "base.json"
+        base_path.write_text(json.dumps(base))
+        ok_path = tmp_path / "ok.json"
+        ok_path.write_text(json.dumps(fresh_ok))
+        bad_path = tmp_path / "bad.json"
+        bad_path.write_text(json.dumps(fresh_bad))
+        assert regression.main(["--fresh", str(ok_path),
+                                "--baseline", str(base_path)]) == 0
+        assert regression.main(["--fresh", str(bad_path),
+                                "--baseline", str(base_path)]) == 1
 
 
 class TestRepositoryLayout:

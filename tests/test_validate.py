@@ -3,7 +3,7 @@
 import pytest
 
 from repro.graph.graph import Edge
-from repro.graph.stream import InMemoryEdgeStream, shuffled
+from repro.graph.stream import shuffled
 from repro.partitioning.base import PartitionResult
 from repro.partitioning.hdrf import HDRFPartitioner
 from repro.partitioning.state import PartitionState
