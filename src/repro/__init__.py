@@ -23,8 +23,10 @@ from repro.graph import (
     Edge,
     Graph,
     EdgeStream,
+    FileChunkStream,
     FileEdgeStream,
     InMemoryEdgeStream,
+    chunk_file_stream,
     chunk_stream,
     locally_shuffled,
     shuffled,
@@ -60,6 +62,8 @@ from repro.partitioning import (
     ParallelResult,
     PartitionResult,
     PartitionState,
+    PartitionerSpec,
+    StateSnapshot,
     PowerLyraPartitioner,
     RestreamingDriver,
     StreamingPartitioner,
@@ -83,6 +87,8 @@ __all__ = [
     "EdgeStream",
     "FileEdgeStream",
     "InMemoryEdgeStream",
+    "FileChunkStream",
+    "chunk_file_stream",
     "chunk_stream",
     "locally_shuffled",
     "shuffled",
@@ -113,6 +119,8 @@ __all__ = [
     "RestreamingDriver",
     "OneDimPartitioner",
     "ParallelLoader",
+    "PartitionerSpec",
+    "StateSnapshot",
     "ParallelResult",
     "PartitionResult",
     "PartitionState",

@@ -16,28 +16,12 @@ from typing import Optional, Sequence
 from repro.graph.io import read_graph
 from repro.graph.stream import FileEdgeStream
 from repro.graph.stats import summarize
-from repro.core.adwise import AdwisePartitioner
-from repro.partitioning.dbh import DBHPartitioner
-from repro.partitioning.greedy import GreedyPartitioner
-from repro.partitioning.grid import GridPartitioner
-from repro.partitioning.hashing import HashPartitioner
-from repro.partitioning.hdrf import HDRFPartitioner
-from repro.partitioning.jabeja import JaBeJaVCPartitioner
-from repro.partitioning.ne import NEPartitioner
-from repro.partitioning.powerlyra import PowerLyraPartitioner
+from repro.partitioning.parallel import partitioner_registry
 from repro.simtime import SimulatedClock, WallClock
 
-_ALGORITHMS = {
-    "hash": HashPartitioner,
-    "grid": GridPartitioner,
-    "dbh": DBHPartitioner,
-    "hdrf": HDRFPartitioner,
-    "greedy": GreedyPartitioner,
-    "powerlyra": PowerLyraPartitioner,
-    "ne": NEPartitioner,
-    "jabeja": JaBeJaVCPartitioner,
-    "adwise": AdwisePartitioner,
-}
+#: Single source of truth for --algorithm choices, shared with
+#: PartitionerSpec so the serial and parallel paths can never drift.
+_ALGORITHMS = partitioner_registry()
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -62,6 +46,19 @@ def build_parser() -> argparse.ArgumentParser:
                       help="array-backed partition state + batched scoring "
                            "kernels (adwise/hdrf/dbh/greedy; identical "
                            "output, higher throughput)")
+    part.add_argument("--workers", type=int, default=1,
+                      help="parallel loading with z partitioner instances "
+                           "over byte-offset chunks of the input file "
+                           "(paper §III-D); 1 = single-instance streaming")
+    part.add_argument("--backend", choices=["process", "simulated"],
+                      default=None,
+                      help="execution backend for --workers > 1: real OS "
+                           "processes (default) or the sequential "
+                           "simulator (bit-identical results)")
+    part.add_argument("--spread", type=int, default=None,
+                      help="partitions each parallel instance may fill "
+                           "(default k/z, the spotlight setting; k = "
+                           "maximal spread)")
     part.add_argument("--output", default=None,
                       help="write 'u v partition' lines to this file")
 
@@ -89,6 +86,44 @@ def build_parser() -> argparse.ArgumentParser:
 _FAST_CAPABLE = {"adwise", "hdrf", "dbh", "greedy"}
 
 
+def _run_parallel_partition(args: argparse.Namespace) -> int:
+    """Parallel loading: z instances over byte-offset chunks of the file."""
+    from repro.partitioning.parallel import ParallelLoader, PartitionerSpec
+
+    kwargs: dict = {"fast": True} if args.fast else {}
+    if args.algorithm == "adwise":
+        kwargs["latency_preference_ms"] = args.latency_preference
+        kwargs["use_clustering"] = not args.no_clustering
+    spec = PartitionerSpec(args.algorithm, kwargs)
+    try:
+        loader = ParallelLoader(
+            spec, partitions=list(range(args.partitions)),
+            num_instances=args.workers, spread=args.spread,
+            clock_factory=WallClock if args.wall_clock else SimulatedClock,
+            backend=args.backend or "process")
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    # run_file skips the parent-side line-count pass a FileEdgeStream
+    # constructor would do; workers count their own slices lazily.
+    result = loader.run_file(args.path)
+    print(f"algorithm:          {result.algorithm}")
+    print(f"backend:            {result.backend} "
+          f"({result.num_instances} workers, spread {result.spread})")
+    print(f"edges assigned:     {sum(result.partition_sizes.values())}")
+    print(f"replication degree: {result.replication_degree:.4f}")
+    print(f"imbalance:          {result.imbalance:.4f}")
+    print(f"latency:            {result.latency_ms:.2f} ms "
+          f"({'wall' if args.wall_clock else 'simulated'}, max over "
+          f"instances)")
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            for edge, partition in result.assignments.items():
+                handle.write(f"{edge.u} {edge.v} {partition}\n")
+        print(f"assignments written to {args.output}")
+    return 0
+
+
 def _run_partition(args: argparse.Namespace) -> int:
     clock = WallClock() if args.wall_clock else SimulatedClock()
     partitions = list(range(args.partitions))
@@ -97,16 +132,21 @@ def _run_partition(args: argparse.Namespace) -> int:
               f"(supported: {', '.join(sorted(_FAST_CAPABLE))})",
               file=sys.stderr)
         return 2
+    if args.workers < 1:
+        print("error: --workers must be >= 1", file=sys.stderr)
+        return 2
+    if args.workers > 1:
+        return _run_parallel_partition(args)
+    if args.backend is not None or args.spread is not None:
+        print("error: --backend/--spread only apply to parallel loading; "
+              "pass --workers N (N > 1)", file=sys.stderr)
+        return 2
     extra = {"fast": True} if args.fast else {}
     if args.algorithm == "adwise":
-        partitioner = AdwisePartitioner(
-            partitions,
-            latency_preference_ms=args.latency_preference,
-            use_clustering=not args.no_clustering,
-            clock=clock, **extra)
-    else:
-        partitioner = _ALGORITHMS[args.algorithm](partitions, clock=clock,
-                                                  **extra)
+        extra.update(latency_preference_ms=args.latency_preference,
+                     use_clustering=not args.no_clustering)
+    partitioner = _ALGORITHMS[args.algorithm](partitions, clock=clock,
+                                              **extra)
     stream = FileEdgeStream(args.path)
     result = partitioner.partition_stream(stream)
     print(f"algorithm:          {result.algorithm}")

@@ -3,8 +3,10 @@
 from repro.graph.graph import Edge, Graph
 from repro.graph.stream import (
     EdgeStream,
+    FileChunkStream,
     FileEdgeStream,
     InMemoryEdgeStream,
+    chunk_file_stream,
     chunk_stream,
     locally_shuffled,
     shuffled,
@@ -32,8 +34,10 @@ __all__ = [
     "Edge",
     "Graph",
     "EdgeStream",
+    "FileChunkStream",
     "FileEdgeStream",
     "InMemoryEdgeStream",
+    "chunk_file_stream",
     "chunk_stream",
     "locally_shuffled",
     "shuffled",

@@ -9,7 +9,7 @@ datasets: one ``u v`` pair per line, ``#`` or ``%`` comment lines ignored.
 from __future__ import annotations
 
 import os
-from typing import Iterable, Iterator, Tuple
+from typing import Iterable, Iterator, List, Tuple
 
 from repro.graph.graph import Edge, Graph
 
@@ -68,6 +68,92 @@ def write_graph(path: "str | os.PathLike", graph: Graph,
                 header: str = "") -> int:
     """Write all edges of ``graph`` to ``path``; return the edge count."""
     return write_edges(path, graph.edges(), header=header)
+
+
+def byte_spans(path: "str | os.PathLike",
+               num_chunks: int) -> List[Tuple[int, int]]:
+    """Split an edge file into ``num_chunks`` byte ranges on line boundaries.
+
+    This is the out-of-core analogue of
+    :func:`repro.graph.stream.chunk_stream`: the file is divided at
+    ``size * i / num_chunks`` byte targets and each boundary is advanced
+    to the next newline, so no line straddles two spans and every byte
+    of the file belongs to exactly one span.  Workers can then stream
+    their span independently without anyone materialising the graph.
+
+    Spans are contiguous, cover ``[0, filesize)`` exactly, and may be
+    empty (``start == end``) when the file has fewer lines than chunks.
+    """
+    if num_chunks < 1:
+        raise ValueError("num_chunks must be >= 1")
+    path = os.fspath(path)
+    size = os.path.getsize(path)
+    bounds = [0]
+    with open(path, "rb") as handle:
+        for i in range(1, num_chunks):
+            target = (size * i) // num_chunks
+            if target <= bounds[-1]:
+                bounds.append(bounds[-1])
+                continue
+            handle.seek(target)
+            # Discard the (possibly partial) line the target landed in;
+            # it belongs to the previous span.
+            handle.readline()
+            bounds.append(min(handle.tell(), size))
+    bounds.append(size)
+    return [(bounds[i], bounds[i + 1]) for i in range(num_chunks)]
+
+
+def iter_edge_file_span(path: "str | os.PathLike", start: int,
+                        end: int) -> Iterator[Edge]:
+    """Stream edges whose lines start inside ``[start, end)`` of the file.
+
+    ``start`` must be a line boundary (0 or a position just past a
+    newline), as produced by :func:`byte_spans`.  Reading is binary with
+    explicit UTF-8 decoding so byte offsets stay exact; ``\\r`` from
+    CRLF files is stripped by the line parser.
+    """
+    if start < 0 or end < start:
+        raise ValueError(f"invalid span [{start}, {end})")
+    with open(path, "rb") as handle:
+        handle.seek(start)
+        position = start
+        while position < end:
+            line = handle.readline()
+            if not line:
+                break
+            position += len(line)
+            edge = parse_edge_line(line.decode("utf-8"))
+            if edge is not None:
+                yield edge
+
+
+_COMMENT_PREFIX_BYTES = tuple(p.encode() for p in _COMMENT_PREFIXES)
+
+
+def count_edges_span(path: "str | os.PathLike", start: int, end: int) -> int:
+    """Count edge lines inside ``[start, end)`` (span analogue of
+    :func:`count_edges`).
+
+    Applies the same blank/comment filter as :func:`count_edges` without
+    parsing endpoints, so counting a slice costs a strip per line rather
+    than a full edge parse.
+    """
+    if start < 0 or end < start:
+        raise ValueError(f"invalid span [{start}, {end})")
+    total = 0
+    with open(path, "rb") as handle:
+        handle.seek(start)
+        position = start
+        while position < end:
+            line = handle.readline()
+            if not line:
+                break
+            position += len(line)
+            stripped = line.strip()
+            if stripped and not stripped.startswith(_COMMENT_PREFIX_BYTES):
+                total += 1
+    return total
 
 
 def count_edges(path: "str | os.PathLike") -> int:

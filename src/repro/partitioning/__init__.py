@@ -1,6 +1,6 @@
 """Vertex-cut streaming partitioning framework and baseline algorithms."""
 
-from repro.partitioning.state import PartitionState
+from repro.partitioning.state import PartitionState, StateSnapshot
 from repro.partitioning.fast_state import FastPartitionState
 from repro.partitioning.base import PartitionResult, StreamingPartitioner
 from repro.partitioning.metrics import (
@@ -19,7 +19,11 @@ from repro.partitioning.onedim import OneDimPartitioner, TwoDimPartitioner
 from repro.partitioning.ne import NEPartitioner
 from repro.partitioning.jabeja import JaBeJaVCPartitioner
 from repro.partitioning.powerlyra import PowerLyraPartitioner
-from repro.partitioning.parallel import ParallelLoader, ParallelResult
+from repro.partitioning.parallel import (
+    ParallelLoader,
+    ParallelResult,
+    PartitionerSpec,
+)
 from repro.partitioning.restream import RestreamingDriver
 from repro.partitioning.hovercut import HoverCutPartitioner
 from repro.partitioning.validate import ValidationReport, validate_result
@@ -32,6 +36,7 @@ from repro.partitioning.partition_io import (
 
 __all__ = [
     "PartitionState",
+    "StateSnapshot",
     "FastPartitionState",
     "PartitionResult",
     "StreamingPartitioner",
@@ -52,6 +57,7 @@ __all__ = [
     "PowerLyraPartitioner",
     "ParallelLoader",
     "ParallelResult",
+    "PartitionerSpec",
     "RestreamingDriver",
     "HoverCutPartitioner",
     "ValidationReport",

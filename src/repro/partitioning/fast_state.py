@@ -40,7 +40,12 @@ except ImportError:  # pragma: no cover - exercised only on numpy-free installs
     np = None
 
 from repro.graph.graph import Edge
-from repro.partitioning.state import bump_size_histogram
+from repro.partitioning.state import (
+    StateSnapshot,
+    bump_size_histogram,
+    iter_bits,
+    rebuild_size_stats,
+)
 
 #: Initial replica-matrix row capacity; doubled on demand.
 _INITIAL_CAPACITY = 1024
@@ -139,14 +144,9 @@ class FastPartitionState:
         idx = self._vindex.get(vertex)
         if idx is None:
             return frozenset()
-        bits = self._replica_bits[idx]
         partitions = self._partitions
-        out = []
-        while bits:
-            low = bits & -bits
-            out.append(partitions[low.bit_length() - 1])
-            bits ^= low
-        return frozenset(out)
+        return frozenset(partitions[j]
+                         for j in iter_bits(self._replica_bits[idx]))
 
     def is_replicated_on(self, vertex: int, partition: int) -> bool:
         """Indicator ``1{p in R_v}`` from the scoring functions."""
@@ -306,6 +306,53 @@ class FastPartitionState:
         """Adopt another state's degree table (restreaming support)."""
         self.degree = dict(other.degree)
         self.max_degree = other.max_degree
+
+    # ------------------------------------------------------------------
+    # Serialization (process-pool boundary)
+    # ------------------------------------------------------------------
+    def snapshot(self) -> StateSnapshot:
+        """Compact picklable image of this state (see :class:`StateSnapshot`).
+
+        The fast state already keeps replica sets as bitmasks in spread
+        order, so the snapshot is a near-verbatim copy — no matrix sync
+        needed.
+        """
+        replica_bits = {vertex: self._replica_bits[idx]
+                        for vertex, idx in self._vindex.items()
+                        if self._replica_bits[idx]}
+        return StateSnapshot(
+            partitions=list(self._partitions),
+            replica_bits=replica_bits,
+            sizes=list(self._sizes_list),
+            degree=dict(self.degree),
+            max_degree=self.max_degree,
+            assigned_edges=self.assigned_edges,
+            fast=True,
+        )
+
+    @classmethod
+    def from_snapshot(cls, snap: StateSnapshot) -> "FastPartitionState":
+        """Rebuild a state from a snapshot (inverse of :meth:`snapshot`)."""
+        state = cls(snap.partitions)
+        for vertex, bits in snap.replica_bits.items():
+            if not bits:
+                continue
+            idx = state._row(vertex)
+            state._replica_bits[idx] = bits
+            state._replicated_vertices += 1
+            state._total_replicas += bits.bit_count()
+            for j in iter_bits(bits):
+                state._pending_replicas.append((idx, j))
+        if len(state._pending_replicas) >= _SYNC_THRESHOLD:
+            state._sync_replicas()
+        state._sizes_list = list(snap.sizes)
+        state._sizes_dirty = True
+        state.degree = dict(snap.degree)
+        state.max_degree = snap.max_degree
+        state.assigned_edges = snap.assigned_edges
+        (state._size_histogram, state._max_size,
+         state._min_size) = rebuild_size_stats(snap.sizes)
+        return state
 
     # ------------------------------------------------------------------
     # Legacy dict views (aggregate / validation paths — O(n) snapshots)

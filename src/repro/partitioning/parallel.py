@@ -3,23 +3,51 @@
 Graph processing systems load massive graphs in parallel: each worker
 machine streams a disjoint chunk of the edge file through its own
 partitioner instance with its own vertex cache (paper §III-D).  This module
-simulates that model deterministically:
+implements that model twice behind one interface:
 
-* the global stream is split into ``z`` contiguous chunks,
-* each instance partitions its chunk against its *spread* — the subset of
-  global partitions the spotlight optimisation allows it to fill,
-* results are merged: global replica sets are unions of per-instance sets,
-  global partition sizes are sums, and loading latency is the *maximum*
-  instance latency (instances run concurrently on separate machines).
+* ``backend="simulated"`` (default) runs the instances sequentially in
+  this process — deterministic, dependency-free, and the reference
+  semantics every other execution mode is tested against;
+* ``backend="process"`` runs each instance in its own OS process via
+  :class:`concurrent.futures.ProcessPoolExecutor`.  The serialization
+  boundary is deliberately narrow: a picklable factory (see
+  :class:`PartitionerSpec`) and a chunk go in, and a compact
+  :class:`_InstancePayload` — a :class:`~repro.partitioning.state.
+  StateSnapshot` plus assignment tuples — comes out.  Combined with
+  :class:`~repro.graph.stream.FileChunkStream` chunks, workers stream
+  byte slices of the edge file directly, so no process ever holds the
+  whole graph.
+
+Both backends share one merge step: global replica sets are unions of
+per-instance sets, global partition sizes are sums, and loading latency
+is the *maximum* instance latency (instances run concurrently on
+separate machines).  ``tests/test_parallel_backends.py`` holds the two
+backends bit-identical.
 """
 
 from __future__ import annotations
 
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Set
+from typing import (
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from repro.graph.graph import Edge
-from repro.graph.stream import EdgeStream, chunk_stream
+from repro.graph.stream import (
+    EdgeStream,
+    FileEdgeStream,
+    chunk_file_stream,
+    chunk_stream,
+)
 from repro.core.spotlight import spotlight_spreads
 from repro.partitioning.base import PartitionResult, StreamingPartitioner
 from repro.partitioning.metrics import (
@@ -27,10 +55,148 @@ from repro.partitioning.metrics import (
     merge_replica_sets,
     replication_degree,
 )
+from repro.partitioning.state import PartitionState, StateSnapshot
 from repro.simtime import Clock, SimulatedClock
 
 #: Builds one partitioner instance given its spread and its private clock.
 PartitionerFactory = Callable[[Sequence[int], Clock], StreamingPartitioner]
+
+#: Execution backends understood by :class:`ParallelLoader`.
+BACKENDS = ("simulated", "process")
+
+
+def partitioner_registry() -> Dict[str, type]:
+    """Name -> class map shared by :class:`PartitionerSpec` and the CLI
+    (lazy import: the adwise module sits above this package)."""
+    from repro.core.adwise import AdwisePartitioner
+    from repro.partitioning.dbh import DBHPartitioner
+    from repro.partitioning.greedy import GreedyPartitioner
+    from repro.partitioning.grid import GridPartitioner
+    from repro.partitioning.hashing import HashPartitioner
+    from repro.partitioning.hdrf import HDRFPartitioner
+    from repro.partitioning.jabeja import JaBeJaVCPartitioner
+    from repro.partitioning.ne import NEPartitioner
+    from repro.partitioning.powerlyra import PowerLyraPartitioner
+
+    return {
+        "hash": HashPartitioner,
+        "grid": GridPartitioner,
+        "dbh": DBHPartitioner,
+        "hdrf": HDRFPartitioner,
+        "greedy": GreedyPartitioner,
+        "powerlyra": PowerLyraPartitioner,
+        "ne": NEPartitioner,
+        "jabeja": JaBeJaVCPartitioner,
+        "adwise": AdwisePartitioner,
+    }
+
+
+@dataclass(frozen=True)
+class PartitionerSpec:
+    """A picklable partitioner factory: algorithm name + constructor kwargs.
+
+    The process backend must ship the factory to worker processes, and
+    closures/lambdas don't pickle.  A spec names the algorithm and the
+    extra constructor arguments instead::
+
+        PartitionerSpec("hdrf", {"fast": True})
+        PartitionerSpec("adwise", {"latency_preference_ms": 50.0})
+
+    Specs are also ordinary :data:`PartitionerFactory` callables, so the
+    simulated backend (and any existing call site) accepts them too.
+    """
+
+    algorithm: str
+    kwargs: Dict[str, object] = field(default_factory=dict)
+
+    def __call__(self, partitions: Sequence[int],
+                 clock: Clock) -> StreamingPartitioner:
+        registry = partitioner_registry()
+        try:
+            cls = registry[self.algorithm]
+        except KeyError:
+            raise ValueError(
+                f"unknown algorithm {self.algorithm!r} "
+                f"(known: {', '.join(sorted(registry))})") from None
+        return cls(partitions, clock=clock, **self.kwargs)
+
+
+@dataclass
+class _InstancePayload:
+    """What one worker returns across the process boundary.
+
+    Carries everything :class:`PartitionResult` exposes, in picklable
+    form: the state as a :class:`StateSnapshot` and the assignments as
+    ``(u, v, partition)`` tuples in assignment order.
+    """
+
+    algorithm: str
+    snapshot: StateSnapshot
+    assignments: List[Tuple[int, int, int]]
+    latency_ms: float
+    score_computations: int
+    extras: Dict[str, float]
+
+    @classmethod
+    def from_result(cls, result: PartitionResult) -> "_InstancePayload":
+        return cls(
+            algorithm=result.algorithm,
+            snapshot=result.state.snapshot(),
+            assignments=[(e.u, e.v, p)
+                         for e, p in result.assignments.items()],
+            latency_ms=result.latency_ms,
+            score_computations=result.score_computations,
+            extras=dict(result.extras),
+        )
+
+    def to_result(self) -> PartitionResult:
+        """Rebuild a :class:`PartitionResult` on the parent side."""
+        state = _state_from_snapshot(self.snapshot)
+        return PartitionResult(
+            algorithm=self.algorithm,
+            state=state,
+            assignments={Edge(u, v): p for u, v, p in self.assignments},
+            latency_ms=self.latency_ms,
+            score_computations=self.score_computations,
+            extras=dict(self.extras),
+        )
+
+
+def _state_from_snapshot(snapshot: StateSnapshot):
+    """Rebuild the snapshot's state flavour, degrading gracefully when the
+    fast (numpy-backed) state is unavailable on the receiving side."""
+    if snapshot.fast:
+        try:
+            from repro.partitioning.fast_state import FastPartitionState
+            return FastPartitionState.from_snapshot(snapshot)
+        except ImportError:  # pragma: no cover - numpy-free installs
+            pass
+    return PartitionState.from_snapshot(snapshot)
+
+
+def _execute_instance(factory: PartitionerFactory, spread_ids: Sequence[int],
+                      chunk: EdgeStream,
+                      clock_factory: Callable[[], Clock]) -> PartitionResult:
+    """Run one partitioner instance over its chunk — the computation both
+    backends share."""
+    clock = clock_factory()
+    partitioner = factory(spread_ids, clock)
+    return partitioner.partition_stream(chunk)
+
+
+def _run_instance(factory: PartitionerFactory, spread_ids: Sequence[int],
+                  chunk: EdgeStream,
+                  clock_factory: Callable[[], Clock]) -> _InstancePayload:
+    """Worker entry point: partition one chunk, return a compact payload.
+
+    Module-level so :class:`ProcessPoolExecutor` can pickle it.  Only the
+    process backend pays the payload encode/decode; the simulated backend
+    consumes :func:`_execute_instance` results directly, which is what
+    makes the differential tests a real check of the serialization
+    boundary rather than a comparison of two serialized runs.
+    """
+    return _InstancePayload.from_result(
+        _execute_instance(factory, spread_ids, chunk, clock_factory))
 
 
 @dataclass
@@ -45,6 +211,7 @@ class ParallelResult:
     partition_sizes: Dict[int, int]
     latency_ms: float
     score_computations: int
+    backend: str = "simulated"
 
     @property
     def replication_degree(self) -> float:
@@ -61,6 +228,25 @@ class ParallelResult:
             merged.update(result.assignments)
         return merged
 
+    def merged_snapshot(self) -> StateSnapshot:
+        """Deterministic merge of all instance states (see
+        :meth:`StateSnapshot.merge`)."""
+        return StateSnapshot.merge(
+            [r.state.snapshot() for r in self.instance_results],
+            partitions=sorted(self.partition_sizes))
+
+    def to_partition_result(self) -> PartitionResult:
+        """Collapse into a single :class:`PartitionResult` whose state is
+        the merged global vertex cache — the form ``partition_io`` and the
+        processing engine consume."""
+        return PartitionResult(
+            algorithm=self.algorithm,
+            state=PartitionState.from_snapshot(self.merged_snapshot()),
+            assignments=self.assignments,
+            latency_ms=self.latency_ms,
+            score_computations=self.score_computations,
+        )
+
 
 class ParallelLoader:
     """Drive ``z`` partitioner instances over chunked input.
@@ -70,6 +256,9 @@ class ParallelLoader:
     factory:
         Constructs a partitioner for a given spread and clock — e.g.
         ``lambda parts, clock: HDRFPartitioner(parts, clock=clock)``.
+        The process backend requires a *picklable* factory; use
+        :class:`PartitionerSpec` (closures and lambdas won't cross the
+        process boundary).
     partitions:
         The global partition id list (length ``k``).
     num_instances:
@@ -80,15 +269,28 @@ class ParallelLoader:
         maximal-spread behaviour.
     clock_factory:
         Builds each instance's private clock (deterministic by default).
+    backend:
+        ``"simulated"`` runs instances sequentially in-process;
+        ``"process"`` runs each in its own OS process and merges the
+        returned snapshots.  Results are identical by construction (and
+        by differential test).
+    max_workers:
+        Process-pool size cap for the process backend; defaults to
+        ``min(z, os.cpu_count())``.
     """
 
     def __init__(self, factory: PartitionerFactory,
                  partitions: Sequence[int],
                  num_instances: int,
                  spread: Optional[int] = None,
-                 clock_factory: Callable[[], Clock] = SimulatedClock) -> None:
+                 clock_factory: Callable[[], Clock] = SimulatedClock,
+                 backend: str = "simulated",
+                 max_workers: Optional[int] = None) -> None:
         if num_instances < 1:
             raise ValueError("num_instances must be >= 1")
+        if backend not in BACKENDS:
+            raise ValueError(
+                f"unknown backend {backend!r} (choose from {BACKENDS})")
         k = len(partitions)
         if k % num_instances != 0 and spread is None:
             raise ValueError(
@@ -98,18 +300,73 @@ class ParallelLoader:
         self.num_instances = num_instances
         self.spread = spread if spread is not None else k // num_instances
         self.clock_factory = clock_factory
+        self.backend = backend
+        self.max_workers = max_workers
         # Validate early so configuration errors surface at build time.
         self._spreads = spotlight_spreads(self.partitions, num_instances,
                                           self.spread)
+        if backend == "process":
+            try:
+                pickle.dumps((factory, clock_factory))
+            except Exception as exc:
+                raise ValueError(
+                    "backend='process' needs a picklable factory and "
+                    "clock_factory; wrap the algorithm in a "
+                    "PartitionerSpec instead of a lambda/closure"
+                ) from exc
 
     def run(self, stream: EdgeStream) -> ParallelResult:
-        """Chunk the stream, run every instance, merge the results."""
-        chunks = chunk_stream(stream, self.num_instances)
-        results: List[PartitionResult] = []
-        for spread_ids, chunk in zip(self._spreads, chunks):
-            clock = self.clock_factory()
-            partitioner = self.factory(spread_ids, clock)
-            results.append(partitioner.partition_stream(chunk))
+        """Chunk the stream, run every instance, merge the results.
+
+        File-backed streams are chunked by byte offset
+        (:func:`~repro.graph.stream.chunk_file_stream`), so each
+        instance — local or in a worker process — reads only its slice
+        of the file; in-memory streams are chunked by edge count.
+        """
+        if isinstance(stream, FileEdgeStream):
+            chunks: Sequence[EdgeStream] = chunk_file_stream(
+                stream.path, self.num_instances)
+        else:
+            chunks = chunk_stream(stream, self.num_instances)
+        return self.run_chunks(chunks)
+
+    def run_file(self, path: "str | os.PathLike") -> ParallelResult:
+        """Out-of-core entry point: byte-chunk ``path`` and run."""
+        return self.run_chunks(chunk_file_stream(path, self.num_instances))
+
+    def run_chunks(self, chunks: Sequence[EdgeStream]) -> ParallelResult:
+        """Run every instance on its pre-built chunk, merge the results."""
+        if len(chunks) != self.num_instances:
+            raise ValueError(
+                f"got {len(chunks)} chunks for {self.num_instances} instances")
+        if self.backend == "process":
+            results = self._run_process(chunks)
+        else:
+            results = [
+                _execute_instance(self.factory, spread_ids, chunk,
+                                  self.clock_factory)
+                for spread_ids, chunk in zip(self._spreads, chunks)
+            ]
+        return self._merge(results)
+
+    def _run_process(self,
+                     chunks: Sequence[EdgeStream]) -> List[PartitionResult]:
+        """Fan instances out to a process pool; rebuild results in order."""
+        workers = self.max_workers or min(self.num_instances,
+                                          os.cpu_count() or 1)
+        workers = max(1, min(workers, self.num_instances))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = [
+                pool.submit(_run_instance, self.factory, spread_ids, chunk,
+                            self.clock_factory)
+                for spread_ids, chunk in zip(self._spreads, chunks)
+            ]
+            # Collect in submission order: merge semantics must not
+            # depend on worker completion order.
+            payloads = [future.result() for future in futures]
+        return [payload.to_result() for payload in payloads]
+
+    def _merge(self, results: List[PartitionResult]) -> ParallelResult:
         replica_sets = merge_replica_sets(
             [r.state.replica_sets for r in results])
         sizes: Dict[int, int] = {p: 0 for p in self.partitions}
@@ -125,4 +382,5 @@ class ParallelLoader:
             partition_sizes=sizes,
             latency_ms=max((r.latency_ms for r in results), default=0.0),
             score_computations=sum(r.score_computations for r in results),
+            backend=self.backend,
         )

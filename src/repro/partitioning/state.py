@@ -11,9 +11,130 @@ consistent.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set
 
 from repro.graph.graph import Edge
+
+
+@dataclass
+class StateSnapshot:
+    """Compact, picklable image of a partition state.
+
+    This is the serialization boundary of the parallel loading backend:
+    worker processes return snapshots instead of live states, and the
+    parent merges them deterministically.  Replica sets are encoded as
+    per-vertex bitmasks over the positions of ``partitions`` — compact
+    on the wire and cheap to union.
+
+    ``fast`` records which state class produced the snapshot so the
+    receiving side can rebuild the same flavour (falling back to the
+    dict-backed state when numpy is unavailable).
+    """
+
+    partitions: List[int]
+    replica_bits: Dict[int, int]
+    sizes: List[int]
+    degree: Dict[int, int]
+    max_degree: int
+    assigned_edges: int
+    fast: bool = False
+
+    def replica_sets(self) -> Dict[int, Set[int]]:
+        """Materialise the replica sets as vertex -> set of partition ids."""
+        partitions = self.partitions
+        out: Dict[int, Set[int]] = {}
+        for vertex, bits in self.replica_bits.items():
+            reps = {partitions[j] for j in iter_bits(bits)}
+            if reps:
+                out[vertex] = reps
+        return out
+
+    @property
+    def partition_edges(self) -> Dict[int, int]:
+        return dict(zip(self.partitions, self.sizes))
+
+    @classmethod
+    def merge(cls, snapshots: "Sequence[StateSnapshot]",
+              partitions: Optional[Sequence[int]] = None) -> "StateSnapshot":
+        """Deterministically merge per-instance snapshots into a global one.
+
+        Mirrors the paper's parallel-loading semantics (§III-D): global
+        replica sets are unions of per-instance sets, partition sizes
+        and degrees are sums (each instance observed a disjoint chunk),
+        and the merged partition order is ``partitions`` when given,
+        else first-seen order across snapshots — so merging is
+        independent of worker completion order as long as the snapshot
+        list order is fixed.
+        """
+        if partitions is None:
+            ordered: List[int] = []
+            seen: Set[int] = set()
+            for snap in snapshots:
+                for p in snap.partitions:
+                    if p not in seen:
+                        seen.add(p)
+                        ordered.append(p)
+            partitions = ordered
+        else:
+            partitions = list(partitions)
+        if not partitions:
+            raise ValueError("cannot merge snapshots over zero partitions")
+        pindex = {p: i for i, p in enumerate(partitions)}
+        replica_bits: Dict[int, int] = {}
+        sizes = [0] * len(partitions)
+        degree: Dict[int, int] = {}
+        assigned = 0
+        fast = False
+        for snap in snapshots:
+            # Remap the snapshot's local bit positions to the merged order.
+            remap = [pindex[p] for p in snap.partitions]
+            for vertex, bits in snap.replica_bits.items():
+                acc = replica_bits.get(vertex, 0)
+                for j in iter_bits(bits):
+                    acc |= 1 << remap[j]
+                replica_bits[vertex] = acc
+            for p, size in zip(snap.partitions, snap.sizes):
+                sizes[pindex[p]] += size
+            for vertex, d in snap.degree.items():
+                degree[vertex] = degree.get(vertex, 0) + d
+            assigned += snap.assigned_edges
+            fast = fast or snap.fast
+        return cls(
+            partitions=partitions,
+            replica_bits=replica_bits,
+            sizes=sizes,
+            degree=degree,
+            max_degree=max(degree.values(), default=1),
+            assigned_edges=assigned,
+            fast=fast,
+        )
+
+
+def iter_bits(bits: int):
+    """Yield the set bit positions of ``bits`` (low to high).
+
+    The one place the replica-bitmask decoding loop lives; used by the
+    snapshot codec and the fast state's scalar reads.
+    """
+    while bits:
+        low = bits & -bits
+        yield low.bit_length() - 1
+        bits ^= low
+
+
+def rebuild_size_stats(sizes: Sequence[int]
+                       ) -> "tuple[Dict[int, int], int, int]":
+    """``(histogram, max_size, min_size)`` recomputed from scratch.
+
+    Snapshot restoration counterpart of :func:`bump_size_histogram`,
+    shared by both state flavours so the derived-stats invariant has a
+    single owner.
+    """
+    histogram: Dict[int, int] = {}
+    for size in sizes:
+        histogram[size] = histogram.get(size, 0) + 1
+    return histogram, max(sizes, default=0), min(sizes, default=0)
 
 
 def bump_size_histogram(histogram: Dict[int, int], old_size: int,
@@ -178,6 +299,42 @@ class PartitionState:
         """Adopt another state's degree table (restreaming support)."""
         self.degree = dict(other.degree)
         self.max_degree = other.max_degree
+
+    # ------------------------------------------------------------------
+    # Serialization (process-pool boundary)
+    # ------------------------------------------------------------------
+    def snapshot(self) -> StateSnapshot:
+        """Compact picklable image of this state (see :class:`StateSnapshot`)."""
+        pindex = {p: i for i, p in enumerate(self._partitions)}
+        replica_bits: Dict[int, int] = {}
+        for vertex, reps in self.replica_sets.items():
+            bits = 0
+            for p in reps:
+                bits |= 1 << pindex[p]
+            if bits:
+                replica_bits[vertex] = bits
+        return StateSnapshot(
+            partitions=list(self._partitions),
+            replica_bits=replica_bits,
+            sizes=[self.partition_edges[p] for p in self._partitions],
+            degree=dict(self.degree),
+            max_degree=self.max_degree,
+            assigned_edges=self.assigned_edges,
+            fast=False,
+        )
+
+    @classmethod
+    def from_snapshot(cls, snap: StateSnapshot) -> "PartitionState":
+        """Rebuild a state from a snapshot (inverse of :meth:`snapshot`)."""
+        state = cls(snap.partitions)
+        state.replica_sets = snap.replica_sets()
+        state.partition_edges = dict(zip(snap.partitions, snap.sizes))
+        state.degree = dict(snap.degree)
+        state.max_degree = snap.max_degree
+        state.assigned_edges = snap.assigned_edges
+        (state._size_histogram, state._max_size,
+         state._min_size) = rebuild_size_stats(snap.sizes)
+        return state
 
 
 def merged_replication_degree(states: Iterable[PartitionState]) -> float:

@@ -73,6 +73,49 @@ class TestPartitionCommand:
         assert "(wall)" in capsys.readouterr().out
 
 
+class TestParallelPartition:
+    def test_workers_backends_identical_output(self, graph_file, tmp_path,
+                                               capsys):
+        outputs = {}
+        for backend in ("process", "simulated"):
+            out = tmp_path / f"{backend}.txt"
+            code = main(["partition", graph_file, "--algorithm", "hdrf",
+                         "--partitions", "8", "--workers", "4",
+                         "--backend", backend, "--output", str(out)])
+            assert code == 0
+            assert f"backend:            {backend}" \
+                in capsys.readouterr().out
+            outputs[backend] = out.read_text()
+        assert outputs["process"] == outputs["simulated"]
+
+    def test_spread_flag_passed_through(self, graph_file, capsys):
+        code = main(["partition", graph_file, "--algorithm", "dbh",
+                     "--partitions", "8", "--workers", "2",
+                     "--backend", "simulated", "--spread", "8"])
+        assert code == 0
+        assert "spread 8" in capsys.readouterr().out
+
+    def test_parallel_flags_without_workers_rejected(self, graph_file,
+                                                     capsys):
+        for flags in (["--spread", "4"], ["--backend", "simulated"]):
+            code = main(["partition", graph_file, "--algorithm", "hdrf",
+                         "--partitions", "8"] + flags)
+            assert code == 2
+            assert "--workers" in capsys.readouterr().err
+
+    def test_invalid_worker_count_rejected(self, graph_file, capsys):
+        code = main(["partition", graph_file, "--workers", "0"])
+        assert code == 2
+        assert "--workers" in capsys.readouterr().err
+
+    def test_indivisible_default_spread_reported(self, graph_file, capsys):
+        code = main(["partition", graph_file, "--algorithm", "hdrf",
+                     "--partitions", "7", "--workers", "2",
+                     "--backend", "simulated"])
+        assert code == 2
+        assert "spread" in capsys.readouterr().err
+
+
 class TestStatsCommand:
     def test_prints_summary_row(self, graph_file, capsys):
         code = main(["stats", graph_file])

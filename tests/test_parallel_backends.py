@@ -1,0 +1,186 @@
+"""Differential tests: the process backend must be bit-identical to the
+simulated reference.
+
+The simulated backend is the semantics every experiment in the repo was
+validated against; the process backend is the same computation fanned
+out over OS processes through a snapshot-serialization boundary.  These
+tests hold the two together for every fast-capable algorithm, worker
+counts across 2-8, and both in-memory (seeded random / power-law) and
+file-backed (byte-chunked) inputs — if pickling, snapshotting, or the
+merge ever drops or reorders information, the diff shows up here.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+
+import pytest
+
+from repro.graph.generators import barabasi_albert_graph
+from repro.graph.graph import Edge
+from repro.graph.io import write_edges
+from repro.graph.stream import FileEdgeStream, InMemoryEdgeStream
+from repro.partitioning.parallel import (
+    BACKENDS,
+    ParallelLoader,
+    PartitionerSpec,
+)
+
+K = 8
+
+#: The fast-capable algorithms the issue names, with representative
+#: constructor configurations (fast=True exercises snapshotting of the
+#: array-backed state; adwise uses a fixed window to keep runs small).
+SPECS = {
+    "adwise": PartitionerSpec("adwise", {"fixed_window": 8}),
+    "hdrf": PartitionerSpec("hdrf", {"fast": True}),
+    "dbh": PartitionerSpec("dbh", {"fast": True}),
+    "greedy": PartitionerSpec("greedy", {"fast": True}),
+}
+
+
+def random_edges(num_edges: int = 240, num_vertices: int = 60,
+                 seed: int = 13):
+    """Seeded uniform-random edge list (loops excluded)."""
+    rng = random.Random(seed)
+    edges = []
+    while len(edges) < num_edges:
+        u, v = rng.randrange(num_vertices), rng.randrange(num_vertices)
+        if u != v:
+            edges.append(Edge(u, v))
+    return edges
+
+
+def powerlaw_edges(seed: int = 13):
+    graph = barabasi_albert_graph(n=120, m=3, seed=seed)
+    edges = list(graph.edges())
+    random.Random(seed + 1).shuffle(edges)
+    return edges
+
+
+GRAPHS = {
+    "random": random_edges,
+    "powerlaw": powerlaw_edges,
+}
+
+
+def run_backend(spec, backend, stream, workers, spread=None):
+    loader = ParallelLoader(spec, partitions=list(range(K)),
+                            num_instances=workers, spread=spread,
+                            backend=backend)
+    return loader.run(stream)
+
+
+def assert_identical(process, simulated):
+    """The full differential contract between the two backends."""
+    assert process.replica_sets == simulated.replica_sets
+    assert process.partition_sizes == simulated.partition_sizes
+    assert process.replication_degree == simulated.replication_degree
+    assert process.imbalance == simulated.imbalance
+    assert process.assignments == simulated.assignments
+    assert process.latency_ms == simulated.latency_ms
+    assert process.score_computations == simulated.score_computations
+
+
+class TestProcessMatchesSimulated:
+    @pytest.mark.parametrize("algorithm", sorted(SPECS))
+    @pytest.mark.parametrize("workers", [2, 4, 8])
+    @pytest.mark.parametrize("graph", sorted(GRAPHS))
+    def test_differential(self, algorithm, workers, graph):
+        edges = GRAPHS[graph]()
+        results = [
+            run_backend(SPECS[algorithm], backend,
+                        InMemoryEdgeStream(edges), workers)
+            for backend in BACKENDS
+        ]
+        simulated, process = results
+        assert process.backend == "process"
+        assert simulated.backend == "simulated"
+        assert_identical(process, simulated)
+
+    @pytest.mark.parametrize("algorithm", ["hdrf", "adwise"])
+    def test_differential_on_file_chunks(self, algorithm, tmp_path):
+        """File inputs are byte-chunked identically for both backends."""
+        path = os.fspath(tmp_path / "graph.txt")
+        write_edges(path, powerlaw_edges(seed=29))
+        results = [
+            run_backend(SPECS[algorithm], backend, FileEdgeStream(path),
+                        workers=4)
+            for backend in BACKENDS
+        ]
+        assert_identical(results[1], results[0])
+
+    def test_run_file_equals_run_on_file_stream(self, tmp_path):
+        path = os.fspath(tmp_path / "graph.txt")
+        write_edges(path, random_edges(seed=31))
+        loader = ParallelLoader(SPECS["hdrf"], partitions=list(range(K)),
+                                num_instances=4, backend="process")
+        via_stream = loader.run(FileEdgeStream(path))
+        via_path = loader.run_file(path)
+        assert_identical(via_path, via_stream)
+
+    @pytest.mark.parametrize("workers", [2, 8])
+    def test_non_spotlight_spread(self, workers):
+        """Maximal spread (spread = k) must also match across backends."""
+        edges = powerlaw_edges(seed=17)
+        simulated = run_backend(SPECS["dbh"], "simulated",
+                                InMemoryEdgeStream(edges), workers, spread=K)
+        process = run_backend(SPECS["dbh"], "process",
+                              InMemoryEdgeStream(edges), workers, spread=K)
+        assert_identical(process, simulated)
+
+
+class TestProcessBackendContract:
+    def test_unpicklable_factory_rejected_eagerly(self):
+        with pytest.raises(ValueError, match="PartitionerSpec"):
+            ParallelLoader(lambda parts, clock: None,
+                           partitions=list(range(K)), num_instances=2,
+                           backend="process")
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="backend"):
+            ParallelLoader(SPECS["hdrf"], partitions=list(range(K)),
+                           num_instances=2, backend="threads")
+
+    def test_unknown_algorithm_spec_fails_loudly(self):
+        spec = PartitionerSpec("does-not-exist")
+        with pytest.raises(ValueError, match="unknown algorithm"):
+            spec(list(range(K)), None)
+
+    def test_max_workers_cap_does_not_change_results(self):
+        edges = random_edges(seed=41)
+        capped = ParallelLoader(SPECS["hdrf"], partitions=list(range(K)),
+                                num_instances=4, backend="process",
+                                max_workers=1)
+        uncapped = ParallelLoader(SPECS["hdrf"], partitions=list(range(K)),
+                                  num_instances=4, backend="process")
+        assert_identical(capped.run(InMemoryEdgeStream(edges)),
+                         uncapped.run(InMemoryEdgeStream(edges)))
+
+    def test_chunk_count_mismatch_rejected(self):
+        loader = ParallelLoader(SPECS["hdrf"], partitions=list(range(K)),
+                                num_instances=4)
+        with pytest.raises(ValueError, match="chunks"):
+            loader.run_chunks([InMemoryEdgeStream([Edge(0, 1)])])
+
+
+class TestMergedResult:
+    def test_merged_snapshot_consistent_with_merge_fields(self):
+        edges = powerlaw_edges(seed=23)
+        result = run_backend(SPECS["greedy"], "process",
+                             InMemoryEdgeStream(edges), workers=4)
+        snap = result.merged_snapshot()
+        assert snap.replica_sets() == result.replica_sets
+        assert snap.partition_edges == result.partition_sizes
+        assert snap.assigned_edges == len(edges)
+
+    def test_to_partition_result_preserves_quality_metrics(self):
+        edges = powerlaw_edges(seed=23)
+        result = run_backend(SPECS["hdrf"], "process",
+                             InMemoryEdgeStream(edges), workers=2)
+        merged = result.to_partition_result()
+        assert merged.replication_degree == result.replication_degree
+        assert merged.imbalance == result.imbalance
+        assert merged.assignments == result.assignments
+        assert merged.state.assigned_edges == len(edges)

@@ -70,3 +70,62 @@ class TestResultRoundTrip:
         first_line = path.read_text().splitlines()[0]
         assert "algorithm=HDRF" in first_line
         assert "replication_degree=" in first_line
+
+
+class TestMergedResultRoundTrip:
+    """A merged parallel run must survive the persistence boundary."""
+
+    def _parallel_result(self, small_powerlaw, backend="simulated"):
+        from repro.partitioning.parallel import (
+            ParallelLoader,
+            PartitionerSpec,
+        )
+
+        loader = ParallelLoader(PartitionerSpec("hdrf"),
+                                partitions=list(range(8)),
+                                num_instances=4, backend=backend)
+        return loader.run(shuffled(small_powerlaw.edges(), seed=3))
+
+    def test_merged_assignments_round_trip(self, tmp_path, small_powerlaw):
+        parallel = self._parallel_result(small_powerlaw)
+        path = tmp_path / "merged.txt"
+        written = write_assignments(path, parallel.assignments)
+        assert written == len(parallel.assignments)
+        assert read_assignments(path) == parallel.assignments
+
+    def test_save_load_merged_result_recomputes_metrics(self, tmp_path,
+                                                        small_powerlaw):
+        parallel = self._parallel_result(small_powerlaw)
+        merged = parallel.to_partition_result()
+        path = tmp_path / "merged.txt"
+        save_result(path, merged)
+        loaded = load_result(path, partitions=list(range(8)))
+        assert loaded.assignments == merged.assignments
+        # Metrics are replayed, not trusted from the header — and must
+        # equal the merged parallel run's.
+        assert loaded.replication_degree == \
+            pytest.approx(parallel.replication_degree)
+        assert loaded.imbalance == pytest.approx(parallel.imbalance)
+
+    def test_process_backend_result_round_trips_identically(
+            self, tmp_path, small_powerlaw):
+        simulated = self._parallel_result(small_powerlaw)
+        process = self._parallel_result(small_powerlaw, backend="process")
+        sim_path = tmp_path / "sim.txt"
+        proc_path = tmp_path / "proc.txt"
+        write_assignments(sim_path, simulated.assignments)
+        write_assignments(proc_path, process.assignments)
+        assert sim_path.read_text() == proc_path.read_text()
+
+    def test_save_result_rejects_unwritable_path(self, tmp_path,
+                                                 small_powerlaw):
+        merged = self._parallel_result(small_powerlaw).to_partition_result()
+        with pytest.raises(OSError):
+            save_result(tmp_path / "missing-dir" / "merged.txt", merged)
+
+    def test_load_result_with_explicit_partitions_keeps_empty_ones(
+            self, tmp_path):
+        path = tmp_path / "p.txt"
+        path.write_text("1 2 0\n")
+        loaded = load_result(path, partitions=[0, 1, 2, 3])
+        assert loaded.state.partition_edges == {0: 1, 1: 0, 2: 0, 3: 0}

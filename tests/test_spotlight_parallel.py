@@ -49,6 +49,29 @@ class TestSpotlightSpreads:
         spreads = spotlight_spreads([10, 20, 30, 40], 2, 2)
         assert spreads == [[10, 20], [30, 40]]
 
+    def test_more_instances_than_partitions(self):
+        """z > k: instances share spotlights but still cover every
+        partition."""
+        spreads = spotlight_spreads(list(range(4)), 8, 1)
+        assert len(spreads) == 8
+        assert {p for s in spreads for p in s} == set(range(4))
+        assert all(len(s) == 1 for s in spreads)
+
+    def test_more_instances_than_partitions_wider_spread(self):
+        spreads = spotlight_spreads(list(range(3)), 5, 2)
+        assert {p for s in spreads for p in s} == set(range(3))
+        # Wrap-around keeps every spread at the requested width.
+        assert all(len(set(s)) == 2 for s in spreads)
+
+    def test_single_instance_spread_smaller_than_k_rejected(self):
+        """One instance with spread < k cannot cover all partitions."""
+        with pytest.raises(ValueError):
+            spotlight_spreads(list(range(8)), 1, 4)
+
+    def test_spread_one_instance_per_partition(self):
+        spreads = spotlight_spreads(list(range(4)), 4, 1)
+        assert spreads == [[0], [1], [2], [3]]
+
 
 class TestParallelLoader:
     def _loader(self, factory, spread=None, k=8, z=4):
@@ -92,6 +115,37 @@ class TestParallelLoader:
             lambda parts, clock: HashPartitioner(parts, clock=clock))
         result = loader.run(shuffled(small_powerlaw.edges(), seed=3))
         assert set(result.assignments.values()) <= set(range(8))
+
+    def test_empty_chunks_when_instances_outnumber_edges(self):
+        """z instances over fewer than z edges: tail chunks are empty and
+        the merge still accounts for every edge (both backends)."""
+        from repro.graph.graph import Edge
+        from repro.graph.stream import InMemoryEdgeStream
+        from repro.partitioning.parallel import PartitionerSpec
+
+        edges = [Edge(0, 1), Edge(1, 2)]
+        for backend in ("simulated", "process"):
+            loader = ParallelLoader(
+                PartitionerSpec("hdrf"), partitions=list(range(8)),
+                num_instances=8, backend=backend)
+            result = loader.run(InMemoryEdgeStream(edges))
+            assert sum(result.partition_sizes.values()) == 2
+            assert len(result.instance_results) == 8
+            empty = [r for r in result.instance_results
+                     if r.state.assigned_edges == 0]
+            assert len(empty) == 6
+
+    def test_empty_stream_all_chunks_empty(self):
+        from repro.graph.stream import InMemoryEdgeStream
+        from repro.partitioning.parallel import PartitionerSpec
+
+        loader = ParallelLoader(PartitionerSpec("hdrf"),
+                                partitions=list(range(4)), num_instances=4)
+        result = loader.run(InMemoryEdgeStream([]))
+        assert result.replica_sets == {}
+        assert sum(result.partition_sizes.values()) == 0
+        assert result.latency_ms == 0.0
+        assert result.replication_degree == 0.0
 
 
 class TestSpotlightEffect:

@@ -3,7 +3,12 @@
 import pytest
 
 from repro.graph.graph import Edge
-from repro.partitioning.state import PartitionState, merged_replication_degree
+from repro.partitioning.fast_state import FastPartitionState
+from repro.partitioning.state import (
+    PartitionState,
+    StateSnapshot,
+    merged_replication_degree,
+)
 
 
 class TestConstruction:
@@ -135,3 +140,108 @@ class TestReplicationDegree:
 
     def test_merged_empty(self):
         assert merged_replication_degree([]) == 0.0
+
+
+def _populated(cls):
+    state = cls([0, 1, 2])
+    for edge, p in [(Edge(1, 2), 0), (Edge(2, 3), 1), (Edge(1, 3), 0),
+                    (Edge(4, 5), 2), (Edge(1, 4), 1)]:
+        state.observe_degrees(edge)
+        state.assign(edge, p)
+    return state
+
+
+@pytest.mark.parametrize("cls", [PartitionState, FastPartitionState],
+                         ids=["legacy", "fast"])
+class TestSnapshotRoundTrip:
+    def test_round_trip_preserves_everything(self, cls):
+        state = _populated(cls)
+        back = cls.from_snapshot(state.snapshot())
+        assert back.replica_sets == state.replica_sets
+        assert back.partition_edges == state.partition_edges
+        assert back.degree == state.degree
+        assert back.max_degree == state.max_degree
+        assert back.assigned_edges == state.assigned_edges
+        assert back.max_size == state.max_size
+        assert back.min_size == state.min_size
+        assert back.replication_degree() == state.replication_degree()
+
+    def test_round_trip_survives_pickle(self, cls):
+        import pickle
+
+        state = _populated(cls)
+        snap = pickle.loads(pickle.dumps(state.snapshot()))
+        back = cls.from_snapshot(snap)
+        assert back.replica_sets == state.replica_sets
+
+    def test_restored_state_accepts_further_assignments(self, cls):
+        state = _populated(cls)
+        back = cls.from_snapshot(state.snapshot())
+        back.observe_degrees(Edge(6, 7))
+        changed = back.assign(Edge(6, 7), 2)
+        assert set(changed) == {6, 7}
+        assert back.assigned_edges == state.assigned_edges + 1
+
+    def test_cross_class_restore(self, cls):
+        """A snapshot from either flavour restores into the other."""
+        other = FastPartitionState if cls is PartitionState else PartitionState
+        state = _populated(cls)
+        back = other.from_snapshot(state.snapshot())
+        assert back.replica_sets == state.replica_sets
+        assert back.partition_edges == state.partition_edges
+
+    def test_empty_state_round_trip(self, cls):
+        state = cls([0, 1])
+        back = cls.from_snapshot(state.snapshot())
+        assert back.replica_sets == {}
+        assert back.partition_edges == {0: 0, 1: 0}
+        assert back.assigned_edges == 0
+
+
+class TestSnapshotMerge:
+    def test_disjoint_spreads_union(self):
+        a = PartitionState([0, 1])
+        b = PartitionState([2, 3])
+        for edge, p in [(Edge(1, 2), 0), (Edge(2, 3), 1)]:
+            a.observe_degrees(edge)
+            a.assign(edge, p)
+        for edge, p in [(Edge(1, 3), 2)]:
+            b.observe_degrees(edge)
+            b.assign(edge, p)
+        merged = StateSnapshot.merge([a.snapshot(), b.snapshot()],
+                                     partitions=[0, 1, 2, 3])
+        assert merged.replica_sets() == {1: {0, 2}, 2: {0, 1}, 3: {1, 2}}
+        assert merged.partition_edges == {0: 1, 1: 1, 2: 1, 3: 0}
+        assert merged.assigned_edges == 3
+        # Degrees are summed: each instance saw a disjoint chunk.
+        assert merged.degree == {1: 2, 2: 2, 3: 2}
+
+    def test_overlapping_spreads_union_not_double_count(self):
+        a = PartitionState([0, 1])
+        b = PartitionState([1, 2])
+        a.assign(Edge(1, 2), 1)
+        b.assign(Edge(1, 2), 1)
+        merged = StateSnapshot.merge([a.snapshot(), b.snapshot()])
+        assert merged.replica_sets() == {1: {1}, 2: {1}}
+        assert merged.partition_edges[1] == 2
+
+    def test_merge_order_of_partition_ids_is_deterministic(self):
+        a = PartitionState([3, 1])
+        b = PartitionState([2, 0])
+        merged = StateSnapshot.merge([a.snapshot(), b.snapshot()])
+        assert merged.partitions == [3, 1, 2, 0]  # first-seen order
+        explicit = StateSnapshot.merge([a.snapshot(), b.snapshot()],
+                                       partitions=[0, 1, 2, 3])
+        assert explicit.partitions == [0, 1, 2, 3]
+
+    def test_merge_requires_partitions(self):
+        with pytest.raises(ValueError):
+            StateSnapshot.merge([])
+
+    def test_merged_snapshot_restores(self):
+        a = _populated(PartitionState)
+        b = _populated(FastPartitionState)
+        merged = StateSnapshot.merge([a.snapshot(), b.snapshot()])
+        state = PartitionState.from_snapshot(merged)
+        assert state.assigned_edges == 10
+        assert state.replica_sets == merged.replica_sets()
