@@ -1,0 +1,207 @@
+"""Engine-throughput benchmark: dense (CSR/numpy) vs object superstep loop.
+
+Runs the engine's two execution backends over the same power-law graph
+and placement — PageRank (full-frontier, combiner-heavy) and connected
+components (shrinking frontier) — and reports wall-clock vertices/sec and
+edges/sec per superstep for both, the dense/object speedup, and a hard
+parity check (supersteps, message counts, convergence, aggregates and
+states must agree; PageRank states to float tolerance).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_engine.py              # full
+    PYTHONPATH=src python benchmarks/bench_engine.py --smoke \
+        --check --out bench_engine_smoke.json                     # CI gate
+
+The full workload is the acceptance setup: 100-iteration PageRank on a
+50k-vertex Barabási–Albert graph, where dense mode must be >= 5x object
+mode edges/sec.  The smoke variant (CI) shrinks the graph and gates
+PageRank at >= 3x.  ``tools/check_bench_regression.py`` diffs the emitted
+JSON against the committed baseline ``benchmarks/BENCH_engine.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), os.pardir, "src"))
+
+from repro.engine.algorithms import ConnectedComponents, PageRank  # noqa: E402
+from repro.engine.placement import Placement                      # noqa: E402
+from repro.engine.runtime import Engine                           # noqa: E402
+from repro.graph.generators import barabasi_albert_graph          # noqa: E402
+
+#: Paper setup: k = 32 partitions on 8 machines.
+NUM_PARTITIONS = 32
+NUM_MACHINES = 8
+
+#: Minimum dense/object speedup per workload.  PageRank's full gate is
+#: the acceptance bar (5x on the 50k-vertex graph); the smoke gate is the
+#: CI floor on the small graph, where numpy's fixed per-superstep
+#: overhead weighs more.  Components converges in a handful of
+#: supersteps, so its gate is a sanity floor, not a headline.
+SMOKE_GATES = {"PageRank": 3.0, "Components": 1.2}
+FULL_GATES = {"PageRank": 5.0, "Components": 1.2}
+
+
+def build_workload(smoke: bool):
+    if smoke:
+        name, n, m, iterations = "engine-powerlaw-smoke", 2500, 4, 20
+    else:
+        name, n, m, iterations = "engine-powerlaw", 50_000, 4, 100
+    graph = barabasi_albert_graph(n=n, m=m, seed=3)
+    assignments = {e: hash((e.u, e.v)) % NUM_PARTITIONS
+                   for e in graph.edges()}
+    placement = Placement(assignments,
+                          partitions=list(range(NUM_PARTITIONS)),
+                          num_machines=NUM_MACHINES)
+    return name, graph, placement, iterations
+
+
+def algorithms(iterations: int):
+    """(name, program factory, max_supersteps) per benchmarked workload."""
+    return [
+        ("PageRank", lambda: PageRank(iterations=iterations),
+         iterations + 2),
+        ("Components", lambda: ConnectedComponents(), 200),
+    ]
+
+
+def measure(graph, placement, mode, factory, max_supersteps, repeats):
+    """Best-of-``repeats`` wall-clock run; returns (report, seconds).
+
+    Engine construction (adjacency/CSR snapshot) is excluded: it is a
+    once-per-graph cost, while the loop under test is per-run.
+    """
+    engine = Engine(graph, placement, mode=mode)
+    if mode == "dense":
+        engine.csr  # force the one-time CSR build outside the timer
+    best_report, best_time = None, float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        report = engine.run(factory(), max_supersteps=max_supersteps)
+        elapsed = time.perf_counter() - start
+        if elapsed < best_time:
+            best_report, best_time = report, elapsed
+    return best_report, best_time
+
+
+def reports_match(obj, dense) -> bool:
+    if (obj.supersteps != dense.supersteps
+            or obj.messages_sent != dense.messages_sent
+            or obj.converged != dense.converged
+            or obj.aggregates != dense.aggregates
+            or set(obj.states) != set(dense.states)):
+        return False
+    for vertex, expected in obj.states.items():
+        got = dense.states[vertex]
+        if isinstance(expected, float):
+            if not math.isclose(got, expected, rel_tol=1e-9, abs_tol=1e-12):
+                return False
+        elif got != expected:
+            return False
+    return True
+
+
+def run(smoke: bool, repeats: int):
+    workload, graph, placement, iterations = build_workload(smoke)
+    num_vertices, num_edges = graph.num_vertices, graph.num_edges
+    rows = []
+    for name, factory, max_supersteps in algorithms(iterations):
+        obj, obj_s = measure(graph, placement, "object", factory,
+                             max_supersteps, repeats)
+        dense, dense_s = measure(graph, placement, "dense", factory,
+                                 max_supersteps, repeats)
+        # Throughput: edge traversals (== messages) and vertex computations
+        # per wall-clock second, per backend.
+        rows.append({
+            "algorithm": name,
+            "supersteps": obj.supersteps,
+            "messages": obj.messages_sent,
+            "legacy_eps": obj.messages_sent / obj_s,
+            "fast_eps": dense.messages_sent / dense_s,
+            "legacy_vps": num_vertices * obj.supersteps / obj_s,
+            "fast_vps": num_vertices * dense.supersteps / dense_s,
+            "speedup": obj_s / dense_s,
+            "parity": reports_match(obj, dense),
+        })
+    return {
+        "workload": workload,
+        "smoke": smoke,
+        "num_vertices": num_vertices,
+        "num_edges": num_edges,
+        "iterations": iterations,
+        "gates": dict(SMOKE_GATES if smoke else FULL_GATES),
+        "results": rows,
+    }
+
+
+def format_report(report) -> str:
+    lines = [
+        f"Engine backend benchmark — {report['workload']} "
+        f"({report['num_vertices']} vertices, {report['num_edges']} edges, "
+        f"{report['iterations']}-iteration PageRank)",
+        f"{'algorithm':<12} {'object e/s':>12} {'dense e/s':>12} "
+        f"{'object v/s':>12} {'dense v/s':>12} {'speedup':>8} {'parity':>7}",
+    ]
+    for row in report["results"]:
+        lines.append(
+            f"{row['algorithm']:<12} {row['legacy_eps']:>12.0f} "
+            f"{row['fast_eps']:>12.0f} {row['legacy_vps']:>12.0f} "
+            f"{row['fast_vps']:>12.0f} {row['speedup']:>7.2f}x "
+            f"{'ok' if row['parity'] else 'FAIL':>7}")
+    return "\n".join(lines)
+
+
+def check(report) -> list:
+    """Gate violations (empty list == pass)."""
+    gates = report["gates"]
+    problems = []
+    for row in report["results"]:
+        if not row["parity"]:
+            problems.append(f"{row['algorithm']}: dense/object parity broken")
+        floor = gates.get(row["algorithm"])
+        if floor is not None and row["speedup"] < floor:
+            problems.append(
+                f"{row['algorithm']}: speedup {row['speedup']:.2f}x "
+                f"below gate {floor:.2f}x")
+    return problems
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="small graph + relaxed gates (CI variant)")
+    parser.add_argument("--check", action="store_true",
+                        help="exit non-zero if a speedup gate or parity fails")
+    parser.add_argument("--repeats", type=int, default=1,
+                        help="wall-clock repeats per configuration (best-of)")
+    parser.add_argument("--out", help="write the report as JSON to this path")
+    args = parser.parse_args(argv)
+    if args.repeats < 1:
+        parser.error("--repeats must be >= 1")
+
+    report = run(smoke=args.smoke, repeats=args.repeats)
+    print(format_report(report))
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2)
+        print(f"\nwrote {args.out}")
+
+    problems = check(report)
+    if problems:
+        print("\nGATE FAILURES:")
+        for problem in problems:
+            print(f"  - {problem}")
+    if args.check and problems:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -80,7 +80,10 @@ def run_experiment():
         workload="subgraph_isomorphism",
         block_iterations=total_steps, num_blocks=BLOCKS,
         program_factory=make_program,
-        enforce_balance=False)
+        enforce_balance=False,
+        # Cycle search ships no dense kernel; dense mode falls back to the
+        # object path, exercising the kernel-or-fallback contract.
+        engine_mode="dense")
 
 
 def test_fig7d_subgraph_isomorphism_brain(benchmark):

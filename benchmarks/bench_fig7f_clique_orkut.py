@@ -70,7 +70,10 @@ def run_experiment():
         graph, stream_factory(ORKUT), configs,
         workload="clique", block_iterations=total_steps, num_blocks=BLOCKS,
         program_factory=make_program,
-        enforce_balance=False)
+        enforce_balance=False,
+        # Clique search ships no dense kernel; dense mode falls back to
+        # the object path, exercising the kernel-or-fallback contract.
+        engine_mode="dense")
 
 
 def test_fig7f_clique_orkut(benchmark):

@@ -18,7 +18,7 @@ as tolerating imbalance.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.graph.graph import Graph
@@ -117,13 +117,18 @@ def stacked_latency_experiment(
         num_instances: int = NUM_INSTANCES,
         spread: int = DEFAULT_SPREAD,
         enforce_balance: bool = True,
-        balance_limit: float = BALANCE_LIMIT) -> List[LatencyRow]:
+        balance_limit: float = BALANCE_LIMIT,
+        engine_mode: str = "dense") -> List[LatencyRow]:
     """Fig. 7a–f experiment: partition, then simulate processing blocks.
 
     For stationary workloads (PageRank, coloring) each block's latency is
     the analytic cost of ``block_iterations`` supersteps.  For
     message-driven workloads pass ``program_factory``; each block then runs
     the program on the engine and its simulated latency is measured.
+
+    ``engine_mode`` selects the execution backend; the default runs dense
+    (vectorized CSR) kernels where the program ships one and falls back to
+    the object path otherwise, producing identical rows either way.
     """
     rows: List[LatencyRow] = []
     cost_model = cost_model_for(workload)
@@ -136,7 +141,7 @@ def stacked_latency_experiment(
         if enforce_balance:
             check_balance(result, limit=balance_limit)
         placement = _placement(result, num_partitions, num_instances)
-        engine = Engine(graph, placement, cost_model)
+        engine = Engine(graph, placement, cost_model, mode=engine_mode)
         block_ms: List[float] = []
         for _ in range(num_blocks):
             if program_factory is None:

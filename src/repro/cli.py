@@ -79,6 +79,11 @@ def build_parser() -> argparse.ArgumentParser:
                          default="pagerank")
     process.add_argument("--iterations", type=int, default=100)
     process.add_argument("--machines", type=int, default=8)
+    process.add_argument("--mode", choices=["object", "dense"],
+                         default="dense",
+                         help="execution backend: vectorized CSR kernels "
+                              "(dense; falls back per program) or the "
+                              "per-vertex reference interpreter (object)")
     return parser
 
 
@@ -197,10 +202,12 @@ def _run_process(args: argparse.Namespace) -> int:
         "labelprop": lambda: LabelPropagation(max_iterations=args.iterations),
     }
     workload = "pagerank" if args.workload != "coloring" else "coloring"
-    engine = Engine(graph, placement, cost_model_for(workload))
+    engine = Engine(graph, placement, cost_model_for(workload),
+                    mode=args.mode)
     report = engine.run(programs[args.workload](),
                         max_supersteps=args.iterations + 2)
     print(f"workload:            {report.algorithm}")
+    print(f"mode:                {args.mode}")
     print(f"supersteps:          {report.supersteps}")
     print(f"converged:           {report.converged}")
     print(f"messages sent:       {report.messages_sent}")

@@ -11,6 +11,7 @@ the mechanism the paper describes.
 
 from repro.engine.placement import Placement
 from repro.engine.cost import CostModel, SuperstepCost
+from repro.engine.dense import DenseKernel
 from repro.engine.runtime import Engine, SimulationReport
 from repro.engine.vertex_program import Context, VertexProgram
 
@@ -18,6 +19,7 @@ __all__ = [
     "Placement",
     "CostModel",
     "SuperstepCost",
+    "DenseKernel",
     "Engine",
     "SimulationReport",
     "Context",

@@ -2,9 +2,46 @@
 
 from __future__ import annotations
 
-from typing import List
+from typing import Any, Dict, List, Tuple
 
+import numpy as np
+
+from repro.engine.dense import DenseKernel
 from repro.engine.vertex_program import Context, VertexProgram
+from repro.graph.csr import CSRGraph
+
+_NO_MESSAGE = np.iinfo(np.int64).max
+
+
+class _DenseComponents(DenseKernel):
+    """Frontier-masked HashMin: labels are original vertex ids (int64).
+
+    Superstep 0 floods every vertex's id; afterwards only vertices whose
+    label improved re-broadcast, and everything else halts — the same
+    shrinking frontier the object path produces, so superstep and message
+    counts match exactly (integer states: bit-exact parity).
+    """
+
+    def __init__(self, csr: CSRGraph) -> None:
+        super().__init__(csr)
+        self.label = csr.vertex_ids.astype(np.int64, copy=True)
+        self.msg_min = np.full(csr.num_vertices, _NO_MESSAGE, dtype=np.int64)
+
+    def step(self, superstep: int, mask: np.ndarray) -> Tuple[int, Any]:
+        if superstep == 0:
+            senders = mask
+            self.active = mask.copy()  # nobody halts in the seeding step
+        else:
+            candidate = np.where(self.has_msg, self.msg_min, self.label)
+            senders = mask & (candidate < self.label)
+            self.label[senders] = candidate[senders]
+            self.active = senders  # improved vertices stay active
+        self.has_msg, self.msg_min = self.scatter_min(
+            senders, self.label, _NO_MESSAGE)
+        return self.sent_from(senders), None
+
+    def states(self) -> Dict[int, Any]:
+        return dict(zip(self.csr.vertex_ids.tolist(), self.label.tolist()))
 
 
 class ConnectedComponents(VertexProgram):
@@ -26,3 +63,6 @@ class ConnectedComponents(VertexProgram):
             return candidate
         ctx.vote_halt()
         return state
+
+    def dense_kernel(self, csr: CSRGraph) -> _DenseComponents:
+        return _DenseComponents(csr)

@@ -8,9 +8,52 @@ state is True for members of the k-core.
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import Any, Dict, List, Tuple
 
+import numpy as np
+
+from repro.engine.dense import DenseKernel
 from repro.engine.vertex_program import Context, VertexProgram
+from repro.graph.csr import CSRGraph
+
+
+class _DenseKCore(DenseKernel):
+    """Frontier-masked peeling over ``alive``/``removed`` arrays.
+
+    Every vertex halts every superstep; the cascade is carried purely by
+    removal messages, combined per target as a count.  Dead vertices that
+    still receive messages are computed (they are in the mask, exactly as
+    in the object path) but discard them.  Integer state: bit-exact
+    parity.
+    """
+
+    def __init__(self, csr: CSRGraph, k: int) -> None:
+        super().__init__(csr)
+        n = csr.num_vertices
+        self.k = k
+        self.alive = np.ones(n, dtype=bool)
+        self.removed = np.zeros(n, dtype=np.int64)
+        self.msg_count = np.zeros(n, dtype=np.int64)
+
+    def step(self, superstep: int, mask: np.ndarray) -> Tuple[int, Any]:
+        degrees = self.csr.degrees
+        if superstep == 0:
+            dropping = mask & (degrees < self.k)
+        else:
+            updating = mask & self.has_msg & self.alive
+            self.removed[updating] += self.msg_count[updating]
+            dropping = updating & (degrees - self.removed < self.k)
+        self.alive[dropping] = False
+        sent = self.sent_from(dropping)
+        self.has_msg, self.msg_count = self.scatter_count(dropping)
+        self.active = np.zeros(self.csr.num_vertices, dtype=bool)
+        return sent, None
+
+    def states(self) -> Dict[int, Any]:
+        return {vid: (alive, removed)
+                for vid, alive, removed in zip(self.csr.vertex_ids.tolist(),
+                                               self.alive.tolist(),
+                                               self.removed.tolist())}
 
 
 class KCore(VertexProgram):
@@ -47,3 +90,6 @@ class KCore(VertexProgram):
     def members(states) -> List[int]:
         """Vertices in the k-core, from a finished report's states."""
         return sorted(v for v, (alive, _) in states.items() if alive)
+
+    def dense_kernel(self, csr: CSRGraph) -> _DenseKCore:
+        return _DenseKCore(csr, self.k)

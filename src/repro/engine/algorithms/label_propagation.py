@@ -10,9 +10,82 @@ early-stop hooks.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Any, Dict, List, Tuple
 
+import numpy as np
+
+from repro.engine.dense import DenseKernel
 from repro.engine.vertex_program import Context, VertexProgram
+from repro.graph.csr import CSRGraph
+
+
+class _DenseLabelPropagation(DenseKernel):
+    """Whole-frontier label propagation with a vectorized per-vertex mode.
+
+    Until the halt superstep every vertex stays active and broadcasts its
+    label, so each receiver's inbox is exactly its neighbors' labels — the
+    per-vertex "most frequent label, ties to the smallest" reduces to a
+    segmented mode over the CSR slot array: sort slots by (row, label),
+    collapse equal-label runs, and pick each row's best run by
+    (count desc, label asc).  Integer labels make parity bit-exact,
+    including the per-superstep changed-vertex aggregate.
+    """
+
+    def __init__(self, csr: CSRGraph, max_iterations: int) -> None:
+        super().__init__(csr)
+        self.max_iterations = max_iterations
+        self.label = csr.vertex_ids.astype(np.int64, copy=True)
+        self._pending = False  # full-frontier messages in flight
+
+    def _winning_labels(self) -> np.ndarray:
+        """Per-vertex most-frequent neighbor label (ties -> smallest);
+        vertices without neighbors keep their current label."""
+        csr = self.csr
+        rows = csr.rows
+        if len(rows) == 0:
+            return self.label.copy()
+        slot_labels = self.label[csr.indices]
+        order = np.lexsort((slot_labels, rows))
+        row = rows[order]
+        lab = slot_labels[order]
+        # Collapse equal (row, label) runs into (row, label, count).
+        starts = np.empty(len(row), dtype=bool)
+        starts[0] = True
+        starts[1:] = (row[1:] != row[:-1]) | (lab[1:] != lab[:-1])
+        run_ids = np.cumsum(starts) - 1
+        counts = np.bincount(run_ids)
+        run_row = row[starts]
+        run_label = lab[starts]
+        # Best run per row: highest count, then smallest label.
+        pick = np.lexsort((run_label, -counts, run_row))
+        picked_row = run_row[pick]
+        first = np.empty(len(pick), dtype=bool)
+        first[0] = True
+        first[1:] = picked_row[1:] != picked_row[:-1]
+        winners = self.label.copy()
+        winners[picked_row[first]] = run_label[pick][first]
+        return winners
+
+    def step(self, superstep: int, mask: np.ndarray) -> Tuple[int, Any]:
+        aggregate = 0
+        if superstep > 0 and self._pending:
+            new_label = self._winning_labels()
+            receivers = mask & (self.csr.degrees > 0)
+            changed = receivers & (new_label != self.label)
+            aggregate = int(changed.sum())
+            self.label[receivers] = new_label[receivers]
+        if superstep < self.max_iterations:
+            self.has_msg = self.csr.degrees > 0
+            self._pending = True
+            self.active = mask.copy()
+            return self.sent_from(mask), aggregate
+        self.has_msg = np.zeros(self.csr.num_vertices, dtype=bool)
+        self._pending = False
+        self.active = np.zeros(self.csr.num_vertices, dtype=bool)
+        return 0, aggregate
+
+    def states(self) -> Dict[int, Any]:
+        return dict(zip(self.csr.vertex_ids.tolist(), self.label.tolist()))
 
 
 class LabelPropagation(VertexProgram):
@@ -53,3 +126,6 @@ class LabelPropagation(VertexProgram):
 
     def is_stationary(self) -> bool:
         return True
+
+    def dense_kernel(self, csr: CSRGraph) -> _DenseLabelPropagation:
+        return _DenseLabelPropagation(csr, self.max_iterations)

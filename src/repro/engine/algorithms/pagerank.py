@@ -9,11 +9,54 @@ use the analytic latency shortcut for the 100-iteration blocks of Fig. 7a-c.
 
 from __future__ import annotations
 
-from typing import List
+from typing import Any, Dict, List, Tuple
 
+import numpy as np
+
+from repro.engine.dense import DenseKernel
 from repro.engine.vertex_program import Context, VertexProgram
+from repro.graph.csr import CSRGraph
 
 DAMPING = 0.85
+
+
+class _DensePageRank(DenseKernel):
+    """Whole-frontier PageRank: ranks and combined contributions as arrays.
+
+    Mirrors :meth:`PageRank.compute` exactly: every vertex stays active
+    through superstep ``iterations`` (isolated vertices included — they
+    just never send), the per-target message combination is the sum the
+    object path's combiner produces, and the rank update reads the
+    combined inbox (zero where no message arrived).  Float sums are
+    reassociated relative to the object path, so parity is ``allclose``
+    rather than bit-exact.
+    """
+
+    def __init__(self, csr: CSRGraph, iterations: int) -> None:
+        super().__init__(csr)
+        self.iterations = iterations
+        n = csr.num_vertices
+        self.rank = np.ones(n, dtype=np.float64)
+        self.incoming = np.zeros(n, dtype=np.float64)
+
+    def step(self, superstep: int, mask: np.ndarray) -> Tuple[int, Any]:
+        if superstep > 0:
+            # sum(messages) is 0.0 for computed vertices with no inbox,
+            # which self.incoming already encodes.
+            self.rank[mask] = (1.0 - DAMPING) + DAMPING * self.incoming[mask]
+        if superstep < self.iterations:
+            senders = mask & (self.csr.degrees > 0)
+            share = np.zeros_like(self.rank)
+            share[senders] = self.rank[senders] / self.csr.degrees[senders]
+            self.has_msg, self.incoming = self.scatter_sum(senders, share)
+            self.active = mask.copy()
+            return self.sent_from(senders), None
+        self.has_msg[:] = False
+        self.active[:] = False  # every computed vertex voted to halt
+        return 0, None
+
+    def states(self) -> Dict[int, Any]:
+        return dict(zip(self.csr.vertex_ids.tolist(), self.rank.tolist()))
 
 
 class PageRank(VertexProgram):
@@ -53,3 +96,6 @@ class PageRank(VertexProgram):
 
     def is_stationary(self) -> bool:
         return True
+
+    def dense_kernel(self, csr: CSRGraph) -> _DensePageRank:
+        return _DensePageRank(csr, self.iterations)

@@ -3,9 +3,52 @@
 from __future__ import annotations
 
 import math
-from typing import List
+from typing import Any, Dict, List, Tuple
 
+import numpy as np
+
+from repro.engine.dense import DenseKernel
 from repro.engine.vertex_program import Context, VertexProgram
+from repro.graph.csr import CSRGraph
+
+
+class _DenseSSSP(DenseKernel):
+    """Frontier-masked BFS relaxation over distance arrays.
+
+    Every vertex halts every superstep (the object program is purely
+    message-driven), so the compute mask after the seeding step is exactly
+    the receive mask; a vertex relaxes and re-broadcasts only when the
+    combined (min) incoming distance improves on its own.  Distances are
+    exact small integers stored as float64, so parity is bit-exact even
+    though the state is floating point.
+    """
+
+    def __init__(self, csr: CSRGraph, source: int) -> None:
+        super().__init__(csr)
+        n = csr.num_vertices
+        self.dist = np.full(n, np.inf)
+        self.msg_min = np.full(n, np.inf)
+        self.source_index = csr.index_of.get(source)
+        if self.source_index is not None:
+            self.dist[self.source_index] = 0.0
+
+    def step(self, superstep: int, mask: np.ndarray) -> Tuple[int, Any]:
+        n = self.csr.num_vertices
+        if superstep == 0:
+            senders = np.zeros(n, dtype=bool)
+            if self.source_index is not None:
+                senders[self.source_index] = True
+            values = np.ones(n)
+        else:
+            senders = mask & self.has_msg & (self.msg_min < self.dist)
+            self.dist[senders] = self.msg_min[senders]
+            values = self.dist + 1.0
+        self.has_msg, self.msg_min = self.scatter_min(senders, values, np.inf)
+        self.active = np.zeros(n, dtype=bool)  # everyone votes to halt
+        return self.sent_from(senders), None
+
+    def states(self) -> Dict[int, Any]:
+        return dict(zip(self.csr.vertex_ids.tolist(), self.dist.tolist()))
 
 
 class SingleSourceShortestPaths(VertexProgram):
@@ -33,3 +76,6 @@ class SingleSourceShortestPaths(VertexProgram):
             return candidate
         ctx.vote_halt()
         return state
+
+    def dense_kernel(self, csr: CSRGraph) -> _DenseSSSP:
+        return _DenseSSSP(csr, self.source)

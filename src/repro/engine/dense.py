@@ -1,0 +1,128 @@
+"""Dense (vectorized) superstep kernels over a CSR graph.
+
+The object-mode engine interprets a vertex program one vertex at a time;
+``mode="dense"`` instead runs each superstep as a handful of whole-frontier
+numpy operations over a :class:`~repro.graph.csr.CSRGraph`.  A program
+opts in by returning a :class:`DenseKernel` from
+:meth:`~repro.engine.vertex_program.VertexProgram.dense_kernel`; programs
+without a kernel transparently fall back to the object path.
+
+A kernel owns the dense mirror of the engine's per-superstep state:
+
+* ``self.active`` — boolean mask of vertices that did not vote to halt in
+  the previous superstep (all vertices before superstep 0);
+* a message buffer (kernel-specific arrays) plus a boolean receive mask.
+
+The engine's dense loop only asks two things of a kernel each superstep:
+the *compute mask* (``active | has-messages``, exactly the object path's
+``active | set(inbox)``), and a :meth:`DenseKernel.step` that advances all
+masked vertices at once and reports ``(messages_sent, aggregate)`` with
+object-path-identical counting (one message per ``ctx.send``, i.e. the
+sender's degree for a ``send_all``).  Latency is charged by the engine
+from the same ``active_fraction`` as in object mode, so dense and object
+runs produce identical cost traces.
+
+Message exchange is expressed with the scatter helpers below: a send mask
+selects adjacency slots via the CSR ``rows`` array, and per-target
+combination is a segment sum (``np.bincount``), min (``np.minimum.at``)
+or count over the selected ``indices``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Tuple
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+
+
+class DenseKernel:
+    """One vertex program's vectorized superstep implementation.
+
+    Subclasses allocate their state arrays in ``__init__`` and implement
+    :meth:`step` and :meth:`states`; the default :meth:`compute_mask`
+    covers the standard Pregel activation rule.
+    """
+
+    def __init__(self, csr: CSRGraph) -> None:
+        self.csr = csr
+        n = csr.num_vertices
+        #: Vertices that did not halt in the previous superstep.
+        self.active = np.ones(n, dtype=bool)
+        #: Vertices with a pending message for the next superstep.
+        self.has_msg = np.zeros(n, dtype=bool)
+
+    # ------------------------------------------------------------------
+    # Engine-facing protocol
+    # ------------------------------------------------------------------
+    def compute_mask(self) -> np.ndarray:
+        """Vertices to compute this superstep (``active | inbox``)."""
+        return self.active | self.has_msg
+
+    def step(self, superstep: int, mask: np.ndarray) -> Tuple[int, Any]:
+        """Advance all vertices in ``mask`` one superstep.
+
+        Returns ``(messages_sent, aggregate)`` where ``messages_sent``
+        counts individual sends exactly as the object path does and
+        ``aggregate`` is the superstep's global aggregate (``None`` if the
+        program does not aggregate).
+        """
+        raise NotImplementedError
+
+    def states(self) -> Dict[int, Any]:
+        """Final per-vertex states, keyed by *original* vertex id."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Scatter helpers (send to all neighbors, combine per target)
+    # ------------------------------------------------------------------
+    def _sending_slots(self, send_mask: np.ndarray
+                       ) -> Tuple[np.ndarray, np.ndarray]:
+        """``(targets, sources)`` of every adjacency slot whose source
+        vertex is in ``send_mask`` (full-frontier sends skip the filter —
+        slots only exist for vertices with neighbors)."""
+        csr = self.csr
+        sel = send_mask[csr.rows]
+        if sel.all():
+            return csr.indices, csr.rows
+        return csr.indices[sel], csr.rows[sel]
+
+    def scatter_sum(self, send_mask: np.ndarray,
+                    values: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Each sender sends ``values[sender]`` to all neighbors; messages
+        addressed to one target are summed.  Returns ``(recv_mask, sums)``.
+        """
+        n = self.csr.num_vertices
+        targets, sources = self._sending_slots(send_mask)
+        sums = np.bincount(targets, weights=values[sources], minlength=n)
+        recv = np.zeros(n, dtype=bool)
+        recv[targets] = True
+        return recv, sums
+
+    def scatter_min(self, send_mask: np.ndarray, values: np.ndarray,
+                    sentinel: Any) -> Tuple[np.ndarray, np.ndarray]:
+        """Like :meth:`scatter_sum` but combines with ``min``; targets
+        without a message hold ``sentinel``."""
+        n = self.csr.num_vertices
+        targets, sources = self._sending_slots(send_mask)
+        mins = np.full(n, sentinel, dtype=values.dtype)
+        np.minimum.at(mins, targets, values[sources])
+        recv = np.zeros(n, dtype=bool)
+        recv[targets] = True
+        return recv, mins
+
+    def scatter_count(self, send_mask: np.ndarray
+                      ) -> Tuple[np.ndarray, np.ndarray]:
+        """Each sender sends one unit message to all neighbors; messages
+        are counted per target.  Returns ``(recv_mask, counts)``."""
+        n = self.csr.num_vertices
+        targets, _ = self._sending_slots(send_mask)
+        counts = np.bincount(targets, minlength=n)
+        recv = np.zeros(n, dtype=bool)
+        recv[targets] = True
+        return recv, counts
+
+    def sent_from(self, send_mask: np.ndarray) -> int:
+        """Message count of a ``send_all`` from every vertex in the mask."""
+        return int(self.csr.degrees[send_mask].sum())

@@ -10,7 +10,7 @@ the partitioning only affects the simulated latency.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, List, Tuple
+from typing import Any, Iterable, List, Tuple
 
 
 class Context:
@@ -41,6 +41,16 @@ class Context:
     @property
     def halted(self) -> bool:
         return self._halted
+
+    def _reset(self) -> None:
+        """Recycle this context for the next vertex of the same superstep.
+
+        The engine reuses one ``Context`` per superstep instead of
+        allocating one per vertex; a fresh outbox list (rather than
+        ``clear()``) keeps any reference a program captured intact.
+        """
+        self._outbox = []
+        self._halted = False
 
 
 class VertexProgram:
@@ -101,3 +111,16 @@ class VertexProgram:
     def should_stop(self, aggregate: Any, superstep: int) -> bool:
         """Optional global convergence test, given the superstep aggregate."""
         return False
+
+    def dense_kernel(self, csr) -> Any:
+        """Optional vectorized backend for ``Engine(mode="dense")``.
+
+        Return a :class:`~repro.engine.dense.DenseKernel` implementing
+        this program's supersteps as whole-frontier numpy operations over
+        the given :class:`~repro.graph.csr.CSRGraph`, or ``None`` (the
+        default) to run on the per-vertex object path.  A kernel must be
+        result-equivalent to :meth:`compute`: identical states, superstep
+        and message counts, and aggregates (bit-identical for integer
+        state, floating-point-reassociation close for float state).
+        """
+        return None

@@ -1,6 +1,7 @@
 """Graph substrate: data structures, IO, edge streams, generators, statistics."""
 
 from repro.graph.graph import Edge, Graph
+from repro.graph.csr import CSRGraph
 from repro.graph.stream import (
     EdgeStream,
     FileChunkStream,
@@ -33,6 +34,7 @@ from repro.graph.stats import (
 __all__ = [
     "Edge",
     "Graph",
+    "CSRGraph",
     "EdgeStream",
     "FileChunkStream",
     "FileEdgeStream",
