@@ -1,0 +1,322 @@
+"""Cluster-runtime benchmark: partitioning quality -> real processing speed.
+
+The paper's headline claim is that better (ADWISE window-based)
+partitions make downstream distributed processing measurably faster.
+The engine benchmarks check the *simulated* version of that claim; this
+one runs it for real: the same graph is partitioned by hashing and by
+ADWISE, sharded, and executed on the cluster runtime
+(:mod:`repro.cluster`) — PageRank and connected components — measuring
+wall-clock, edges/sec and the actually-observed replica-sync traffic.
+
+Gates (all enforced with ``--check``, diffed against the committed
+baseline ``benchmarks/BENCH_cluster.json`` by
+``tools/check_bench_regression.py``):
+
+* **parity** — the sharded run must match ``Engine(mode="dense")``
+  states/supersteps/messages, and its measured per-superstep sync
+  messages must equal the :class:`PlacementStats` prediction;
+* **sync traffic** — ADWISE must beat hashing on remote sync messages
+  (deterministic, strict);
+* **wall-clock** — ADWISE-partitioned execution must beat
+  hash-partitioned (the ``speedup`` column, gated at >= 1.0 in smoke);
+* **scaling smoke** — the process backend (2 and 4 workers) must run to
+  parity with the serial backend.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_cluster.py              # full
+    PYTHONPATH=src python benchmarks/bench_cluster.py --smoke \
+        --check --repeats 2 --out bench_cluster_smoke.json         # CI
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), os.pardir, "src"))
+
+from repro.cluster import ClusterEngine                           # noqa: E402
+from repro.core.adwise import AdwisePartitioner                   # noqa: E402
+from repro.engine.algorithms import (                             # noqa: E402
+    ConnectedComponents,
+    PageRank,
+)
+from repro.engine.runtime import Engine                           # noqa: E402
+from repro.graph.generators import barabasi_albert_graph          # noqa: E402
+from repro.graph.shard import ShardedGraph                        # noqa: E402
+from repro.graph.stream import locally_shuffled                   # noqa: E402
+from repro.partitioning.hashing import HashPartitioner            # noqa: E402
+
+NUM_PARTITIONS = 8
+
+#: Wall-clock floors for hash_wall / adwise_wall per workload.  Smoke
+#: gates at break-even (CI machines are noisy); the full run demands a
+#: real margin.
+SMOKE_GATES = {"PageRank": 1.0, "Components": 1.0}
+FULL_GATES = {"PageRank": 1.05, "Components": 1.0}
+
+#: Scaling smoke: process-backend worker counts that must reach parity.
+SCALING_WORKERS = (2, 4)
+
+
+def build_workload(smoke: bool):
+    if smoke:
+        name, n, m, iterations = "cluster-powerlaw-smoke", 10_000, 4, 15
+    else:
+        name, n, m, iterations = "cluster-powerlaw", 30_000, 5, 30
+    graph = barabasi_albert_graph(n=n, m=m, seed=3)
+    return name, graph, iterations
+
+
+def partition_both(graph):
+    """(label -> ShardedGraph, label -> replication degree)."""
+    partitions = list(range(NUM_PARTITIONS))
+
+    def stream():
+        return locally_shuffled(graph.edges(), buffer_size=512, seed=3)
+
+    sharded = {}
+    replication = {}
+    for label, partitioner in (
+            ("hash", HashPartitioner(partitions)),
+            ("adwise", AdwisePartitioner(partitions, fixed_window=8,
+                                         fast=True))):
+        result = partitioner.partition_stream(stream())
+        sharded[label] = ShardedGraph.from_assignments(
+            result.assignments, partitions=partitions,
+            vertices=graph.vertices())
+        replication[label] = result.replication_degree
+    return sharded, replication
+
+
+def algorithms(iterations: int):
+    return [
+        ("PageRank", lambda: PageRank(iterations=iterations),
+         iterations + 2, True),
+        ("Components", lambda: ConnectedComponents(), 200, False),
+    ]
+
+
+def states_match(expected, got, float_state: bool) -> bool:
+    if set(expected) != set(got):
+        return False
+    for vertex, want in expected.items():
+        have = got[vertex]
+        if float_state:
+            if not math.isclose(have, want, rel_tol=1e-9, abs_tol=1e-12):
+                return False
+        elif have != want:
+            return False
+    return True
+
+
+def verify_parity(engine_report, cluster_report, placement,
+                  float_state: bool) -> bool:
+    """Sharded run == dense engine run, and measured sync == predicted."""
+    if (cluster_report.supersteps != engine_report.supersteps
+            or cluster_report.messages_sent != engine_report.messages_sent
+            or cluster_report.converged != engine_report.converged
+            or not cluster_report.sharded
+            or not states_match(engine_report.states,
+                                cluster_report.states, float_state)):
+        return False
+    stats = placement.stats()
+    for telemetry in cluster_report.telemetry:
+        if not telemetry.synced:
+            if telemetry.remote_messages or telemetry.local_messages:
+                return False
+            continue
+        for machine, predicted in stats.remote_sync_per_machine.items():
+            if telemetry.remote_per_machine.get(machine, 0) != predicted:
+                return False
+        for machine, predicted in stats.local_sync_per_machine.items():
+            if telemetry.local_per_machine.get(machine, 0) != predicted:
+                return False
+    return True
+
+
+def measure_cluster(sharded, factory, max_supersteps, repeats,
+                    backend="serial", num_workers=None):
+    """Best-of-``repeats`` cluster run; returns (report, seconds)."""
+    kwargs = {"num_workers": num_workers} if backend == "process" else {}
+    engine = ClusterEngine(sharded, backend=backend, **kwargs)
+    best_report, best_seconds = None, float("inf")
+    for _ in range(repeats):
+        report = engine.run(factory(), max_supersteps=max_supersteps)
+        seconds = report.wall_ms_total / 1000.0
+        if seconds < best_seconds:
+            best_report, best_seconds = report, seconds
+    return engine, best_report, best_seconds
+
+
+def run(smoke: bool, repeats: int):
+    workload, graph, iterations = build_workload(smoke)
+    sharded, replication = partition_both(graph)
+    rows = []
+    for name, factory, max_supersteps, float_state in algorithms(iterations):
+        measurements = {}
+        parity = True
+        for label in ("hash", "adwise"):
+            engine, report, seconds = measure_cluster(
+                sharded[label], factory, max_supersteps, repeats)
+            dense = Engine(graph, engine.placement, mode="dense").run(
+                factory(), max_supersteps=max_supersteps)
+            parity = parity and verify_parity(
+                dense, report, engine.placement, float_state)
+            measurements[label] = (report, seconds)
+        hash_report, hash_seconds = measurements["hash"]
+        adwise_report, adwise_seconds = measurements["adwise"]
+        rows.append({
+            "algorithm": name,
+            "supersteps": adwise_report.supersteps,
+            "messages": adwise_report.messages_sent,
+            # hash == "legacy" partitioning, adwise == the paper's.
+            "legacy_eps": hash_report.messages_sent / hash_seconds,
+            "fast_eps": adwise_report.messages_sent / adwise_seconds,
+            "legacy_wall_ms": hash_seconds * 1000.0,
+            "fast_wall_ms": adwise_seconds * 1000.0,
+            "speedup": hash_seconds / adwise_seconds,
+            "hash_remote_sync": hash_report.remote_sync_messages,
+            "adwise_remote_sync": adwise_report.remote_sync_messages,
+            "sync_reduction": (hash_report.remote_sync_messages
+                               / max(1, adwise_report.remote_sync_messages)),
+            "parity": parity,
+        })
+    scaling = run_scaling(sharded["adwise"], graph, iterations, repeats)
+    return {
+        "workload": workload,
+        "smoke": smoke,
+        "num_vertices": graph.num_vertices,
+        "num_edges": graph.num_edges,
+        "num_partitions": NUM_PARTITIONS,
+        "iterations": iterations,
+        "replication": replication,
+        "gates": dict(SMOKE_GATES if smoke else FULL_GATES),
+        "results": rows,
+        "scaling": scaling,
+    }
+
+
+def run_scaling(sharded, graph, iterations, repeats):
+    """Wall-clock and edges/sec vs. worker count (ADWISE PageRank).
+
+    The serial row is the reference; each process-backend row must reach
+    state parity with it (the scaling smoke gate).
+    """
+    factory = lambda: PageRank(iterations=iterations)  # noqa: E731
+    max_supersteps = iterations + 2
+    _, serial_report, serial_seconds = measure_cluster(
+        sharded, factory, max_supersteps, repeats)
+    rows = [{
+        "backend": "serial", "workers": 1,
+        "wall_ms": serial_seconds * 1000.0,
+        "eps": serial_report.messages_sent / serial_seconds,
+        "parity": True,
+    }]
+    for workers in SCALING_WORKERS:
+        _, report, seconds = measure_cluster(
+            sharded, factory, max_supersteps, repeats,
+            backend="process", num_workers=workers)
+        rows.append({
+            "backend": "process", "workers": workers,
+            "wall_ms": seconds * 1000.0,
+            "eps": report.messages_sent / seconds,
+            "parity": states_match(serial_report.states, report.states,
+                                   float_state=True),
+        })
+    return rows
+
+
+def format_report(report) -> str:
+    lines = [
+        f"Cluster runtime benchmark — {report['workload']} "
+        f"({report['num_vertices']} vertices, {report['num_edges']} edges, "
+        f"k={report['num_partitions']}, rep hash "
+        f"{report['replication']['hash']:.2f} vs adwise "
+        f"{report['replication']['adwise']:.2f})",
+        f"{'algorithm':<12} {'hash ms':>9} {'adwise ms':>10} "
+        f"{'speedup':>8} {'hash sync':>10} {'adwise sync':>12} "
+        f"{'sync red.':>9} {'parity':>7}",
+    ]
+    for row in report["results"]:
+        lines.append(
+            f"{row['algorithm']:<12} {row['legacy_wall_ms']:>9.1f} "
+            f"{row['fast_wall_ms']:>10.1f} {row['speedup']:>7.2f}x "
+            f"{row['hash_remote_sync']:>10} {row['adwise_remote_sync']:>12} "
+            f"{row['sync_reduction']:>8.2f}x "
+            f"{'ok' if row['parity'] else 'FAIL':>7}")
+    lines.append("")
+    lines.append(f"{'scaling (adwise PageRank)':<28} "
+                 f"{'wall ms':>9} {'edges/s':>12} {'parity':>7}")
+    for row in report["scaling"]:
+        label = f"{row['backend']} x{row['workers']}"
+        lines.append(
+            f"{label:<28} {row['wall_ms']:>9.1f} {row['eps']:>12.0f} "
+            f"{'ok' if row['parity'] else 'FAIL':>7}")
+    return "\n".join(lines)
+
+
+def check(report) -> list:
+    """Gate violations (empty list == pass)."""
+    problems = []
+    gates = report["gates"]
+    for row in report["results"]:
+        if not row["parity"]:
+            problems.append(
+                f"{row['algorithm']}: cluster/dense parity or measured-"
+                f"vs-predicted sync traffic broken")
+        if row["adwise_remote_sync"] >= row["hash_remote_sync"]:
+            problems.append(
+                f"{row['algorithm']}: ADWISE remote sync "
+                f"{row['adwise_remote_sync']} not below hash "
+                f"{row['hash_remote_sync']}")
+        floor = gates.get(row["algorithm"])
+        if floor is not None and row["speedup"] < floor:
+            problems.append(
+                f"{row['algorithm']}: wall-clock speedup "
+                f"{row['speedup']:.2f}x below gate {floor:.2f}x")
+    for row in report["scaling"]:
+        if not row["parity"]:
+            problems.append(
+                f"scaling {row['backend']} x{row['workers']}: "
+                f"state parity with serial broken")
+    return problems
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="small graph + break-even gates (CI variant)")
+    parser.add_argument("--check", action="store_true",
+                        help="exit non-zero when a gate fails")
+    parser.add_argument("--repeats", type=int, default=2,
+                        help="wall-clock repeats per configuration "
+                             "(best-of)")
+    parser.add_argument("--out", help="write the report as JSON")
+    args = parser.parse_args(argv)
+    if args.repeats < 1:
+        parser.error("--repeats must be >= 1")
+
+    report = run(smoke=args.smoke, repeats=args.repeats)
+    print(format_report(report))
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2)
+        print(f"\nwrote {args.out}")
+
+    problems = check(report)
+    if problems:
+        print("\nGATE FAILURES:")
+        for problem in problems:
+            print(f"  - {problem}")
+    if args.check and problems:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

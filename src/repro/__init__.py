@@ -77,6 +77,11 @@ from repro.engine import (
     SimulationReport,
     VertexProgram,
 )
+from repro.cluster import (
+    ClusterEngine,
+    ClusterReport,
+    ShardedGraph,
+)
 from repro.simtime import SimulatedClock, WallClock
 
 __version__ = "1.0.0"
@@ -132,6 +137,9 @@ __all__ = [
     "Placement",
     "SimulationReport",
     "VertexProgram",
+    "ClusterEngine",
+    "ClusterReport",
+    "ShardedGraph",
     "SimulatedClock",
     "WallClock",
     "__version__",

@@ -30,6 +30,10 @@ class ArchivedRow:
     replication_degree: float
     imbalance: float
     score_computations: int
+    #: Measured cluster wall-clock per block (empty when the experiment
+    #: ran without ``measure_wall``; defaulted so version-1 archives
+    #: written before the field existed still load).
+    block_wall_ms: List[float] = field(default_factory=list)
 
     @classmethod
     def from_row(cls, row: LatencyRow) -> "ArchivedRow":
@@ -38,7 +42,8 @@ class ArchivedRow:
                    block_ms=list(row.block_ms),
                    replication_degree=row.replication_degree,
                    imbalance=row.imbalance,
-                   score_computations=row.score_computations)
+                   score_computations=row.score_computations,
+                   block_wall_ms=list(row.block_wall_ms))
 
     def to_row(self) -> LatencyRow:
         return LatencyRow(label=self.label,
@@ -46,7 +51,8 @@ class ArchivedRow:
                           block_ms=list(self.block_ms),
                           replication_degree=self.replication_degree,
                           imbalance=self.imbalance,
-                          score_computations=self.score_computations)
+                          score_computations=self.score_computations,
+                          block_wall_ms=list(self.block_wall_ms))
 
 
 def save_archive(path: "str | os.PathLike", experiment: str,

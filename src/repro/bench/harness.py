@@ -18,7 +18,7 @@ as tolerating imbalance.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.graph.graph import Graph
@@ -52,7 +52,14 @@ class ExperimentConfig:
 
 @dataclass
 class LatencyRow:
-    """One configuration's stacked-latency measurements."""
+    """One configuration's stacked-latency measurements.
+
+    ``block_ms`` is simulated latency from the cost model;
+    ``block_wall_ms`` (present when the experiment ran with
+    ``measure_wall=True``) is the *measured* wall-clock of the same
+    blocks on the sharded cluster runtime — the sim-vs-real pair the
+    cost-model calibration compares.
+    """
 
     label: str
     partitioning_ms: float
@@ -60,6 +67,7 @@ class LatencyRow:
     replication_degree: float
     imbalance: float
     score_computations: int
+    block_wall_ms: List[float] = field(default_factory=list)
 
     def total_after_blocks(self, blocks: int) -> float:
         """Partitioning + processing latency after ``blocks`` blocks."""
@@ -68,6 +76,12 @@ class LatencyRow:
     @property
     def total_ms(self) -> float:
         return self.partitioning_ms + sum(self.block_ms)
+
+    @property
+    def total_wall_ms(self) -> float:
+        """Measured processing wall-clock over all blocks (0.0 when the
+        experiment did not measure wall-clock)."""
+        return sum(self.block_wall_ms)
 
 
 def run_partitioning(factory: PartitionerFactory,
@@ -118,7 +132,8 @@ def stacked_latency_experiment(
         spread: int = DEFAULT_SPREAD,
         enforce_balance: bool = True,
         balance_limit: float = BALANCE_LIMIT,
-        engine_mode: str = "dense") -> List[LatencyRow]:
+        engine_mode: str = "dense",
+        measure_wall: bool = False) -> List[LatencyRow]:
     """Fig. 7a–f experiment: partition, then simulate processing blocks.
 
     For stationary workloads (PageRank, coloring) each block's latency is
@@ -129,6 +144,12 @@ def stacked_latency_experiment(
     ``engine_mode`` selects the execution backend; the default runs dense
     (vectorized CSR) kernels where the program ships one and falls back to
     the object path otherwise, producing identical rows either way.
+
+    With ``measure_wall=True`` each block is *also* executed on the
+    sharded cluster runtime (serial backend, same machine count as the
+    simulation), and the measured wall-clock lands in
+    ``LatencyRow.block_wall_ms`` next to the simulated ``block_ms`` —
+    the first-class sim-vs-real pair for cost-model calibration.
     """
     rows: List[LatencyRow] = []
     cost_model = cost_model_for(workload)
@@ -142,7 +163,19 @@ def stacked_latency_experiment(
             check_balance(result, limit=balance_limit)
         placement = _placement(result, num_partitions, num_instances)
         engine = Engine(graph, placement, cost_model, mode=engine_mode)
+        cluster_engine = None
+        if measure_wall:
+            from repro.cluster import ClusterEngine
+            from repro.graph.shard import ShardedGraph
+            sharded = ShardedGraph.from_assignments(
+                result.assignments,
+                partitions=range(num_partitions),
+                vertices=graph.vertices())
+            cluster_engine = ClusterEngine(
+                sharded, cost_model, backend="serial",
+                num_machines=num_instances)
         block_ms: List[float] = []
+        block_wall_ms: List[float] = []
         for _ in range(num_blocks):
             if program_factory is None:
                 block_ms.append(
@@ -151,6 +184,20 @@ def stacked_latency_experiment(
                 report = engine.run(program_factory(graph),
                                     max_supersteps=block_iterations)
                 block_ms.append(report.latency_ms)
+            if cluster_engine is not None:
+                # Mirror the simulated block's superstep budget exactly:
+                # measured programs get the same cap; the analytic
+                # (stationary) path gets +2 so the program's settle/halt
+                # steps complete.
+                if program_factory is None:
+                    program = _block_program(workload, block_iterations)
+                    cap = block_iterations + 2
+                else:
+                    program = program_factory(graph)
+                    cap = block_iterations
+                cluster_report = cluster_engine.run(
+                    program, max_supersteps=cap)
+                block_wall_ms.append(cluster_report.wall_ms_total)
         rows.append(LatencyRow(
             label=config.label,
             partitioning_ms=result.latency_ms,
@@ -158,8 +205,21 @@ def stacked_latency_experiment(
             replication_degree=result.replication_degree,
             imbalance=result.imbalance,
             score_computations=result.score_computations,
+            block_wall_ms=block_wall_ms,
         ))
     return rows
+
+
+def _block_program(workload: str, block_iterations: int) -> VertexProgram:
+    """A runnable program for one measured block of a stationary workload
+    (the simulated path takes the analytic shortcut instead)."""
+    from repro.engine.algorithms import GreedyColoring, PageRank
+    if workload == "pagerank":
+        return PageRank(iterations=block_iterations)
+    if workload == "coloring":
+        return GreedyColoring(max_iterations=block_iterations)
+    raise ValueError(
+        f"measure_wall needs a program_factory for workload {workload!r}")
 
 
 def replication_sweep(

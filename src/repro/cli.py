@@ -5,6 +5,9 @@ Examples::
     adwise partition graph.txt --algorithm adwise --partitions 32 \
         --latency-preference 500
     adwise stats graph.txt
+    adwise process graph.txt graph.parts --cluster --backend process
+    adwise pipeline graph.txt --algorithm adwise --partitions 8 \
+        --workload pagerank --cluster
 """
 
 from __future__ import annotations
@@ -69,22 +72,77 @@ def build_parser() -> argparse.ArgumentParser:
 
     process = sub.add_parser(
         "process",
-        help="simulate a graph algorithm on a partitioned graph")
+        help="run a graph algorithm on a partitioned graph "
+             "(simulated, or sharded with --cluster)")
     process.add_argument("graph", help="edge-list file")
     process.add_argument("assignments",
-                         help="'u v partition' file (see partition --output)")
-    process.add_argument("--workload",
-                         choices=["pagerank", "components", "coloring",
-                                  "labelprop"],
-                         default="pagerank")
-    process.add_argument("--iterations", type=int, default=100)
-    process.add_argument("--machines", type=int, default=8)
-    process.add_argument("--mode", choices=["object", "dense"],
-                         default="dense",
-                         help="execution backend: vectorized CSR kernels "
-                              "(dense; falls back per program) or the "
-                              "per-vertex reference interpreter (object)")
+                         help="'u v partition' file (see partition "
+                              "--output; .gz supported)")
+    _add_processing_arguments(process)
+
+    pipeline = sub.add_parser(
+        "pipeline",
+        help="partition, persist the assignment, then process — the "
+             "whole paper pipeline in one invocation")
+    pipeline.add_argument("path", help="edge-list file (u v per line)")
+    pipeline.add_argument("--algorithm", choices=sorted(_ALGORITHMS),
+                          default="adwise")
+    pipeline.add_argument("--partitions", type=int, default=32,
+                          help="number of partitions k")
+    pipeline.add_argument("--latency-preference", type=float, default=None,
+                          help="ADWISE latency preference L in ms")
+    pipeline.add_argument("--no-clustering", action="store_true",
+                          help="disable ADWISE's clustering score")
+    pipeline.add_argument("--fast", action="store_true",
+                          help="array-backed partition state (adwise/hdrf/"
+                               "dbh/greedy)")
+    pipeline.add_argument("--load-workers", type=int, default=1,
+                          help="parallel loading instances for the "
+                               "partitioning stage (1 = serial streaming)")
+    pipeline.add_argument("--spread", type=int, default=None,
+                          help="partitions per parallel loading instance "
+                               "(default k/z)")
+    pipeline.add_argument("--output", default=None,
+                          help="assignment file to write between the "
+                               "stages (default <input>.parts; a .gz "
+                               "suffix compresses transparently)")
+    _add_processing_arguments(pipeline)
     return parser
+
+
+def _add_processing_arguments(parser: argparse.ArgumentParser) -> None:
+    """Processing-stage flags shared by ``process`` and ``pipeline``."""
+    parser.add_argument("--workload",
+                        choices=["pagerank", "components", "coloring",
+                                 "labelprop"],
+                        default="pagerank")
+    parser.add_argument("--iterations", type=int, default=100)
+    parser.add_argument("--machines", type=int, default=None,
+                        help="simulated machine count (default 8; with "
+                             "--cluster, also the serial backend's "
+                             "machine layout — the process backend "
+                             "derives machines from --workers instead)")
+    parser.add_argument("--mode", choices=["object", "dense"],
+                        default=None,
+                        help="execution backend (default dense): "
+                             "vectorized CSR kernels (dense; falls back "
+                             "per program) or the per-vertex reference "
+                             "interpreter (object); not applicable with "
+                             "--cluster")
+    parser.add_argument("--cluster", action="store_true",
+                        help="execute sharded: per-partition CSR shards "
+                             "with master/mirror replica sync, measured "
+                             "wall-clock and sync traffic next to the "
+                             "simulated latency")
+    parser.add_argument("--cluster-backend", choices=["serial", "process"],
+                        default=None,
+                        help="--cluster execution (default serial): "
+                             "in-process shards (serial) or one worker "
+                             "OS process per machine (process)")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="worker processes for --cluster-backend "
+                             "process (default: one per partition, "
+                             "capped at the CPU count)")
 
 
 #: Algorithms whose constructors take the ``fast`` state flag.
@@ -178,7 +236,30 @@ def _run_stats(args: argparse.Namespace) -> int:
     return 0
 
 
-def _run_process(args: argparse.Namespace) -> int:
+def _validate_processing_flags(args: argparse.Namespace) -> Optional[str]:
+    """Static flag-combination errors, checked *before* any work runs
+    (a pipeline may spend minutes partitioning first)."""
+    if args.cluster_backend is not None and not args.cluster:
+        return "--cluster-backend only applies with --cluster"
+    cluster_backend = args.cluster_backend or "serial"
+    if args.workers is not None and not (
+            args.cluster and cluster_backend == "process"):
+        return "--workers only applies to --cluster --cluster-backend process"
+    if args.workers is not None and args.workers < 1:
+        return "--workers must be >= 1"
+    if args.mode is not None and args.cluster:
+        return ("--mode selects the simulator's backend; --cluster always "
+                "runs sharded dense kernels (with engine fallback)")
+    if (args.machines is not None and args.cluster
+            and cluster_backend == "process"):
+        return ("--machines does not apply to --cluster-backend process "
+                "(machines are the workers; pass --workers)")
+    return None
+
+
+def _execute_processing(graph, assignments, partitions,
+                        args: argparse.Namespace) -> int:
+    """Processing stage shared by ``process`` and ``pipeline``."""
     from repro.engine.algorithms import (
         ConnectedComponents,
         GreedyColoring,
@@ -188,13 +269,7 @@ def _run_process(args: argparse.Namespace) -> int:
     from repro.engine.cost import cost_model_for
     from repro.engine.placement import Placement
     from repro.engine.runtime import Engine
-    from repro.partitioning.partition_io import read_assignments
 
-    graph = read_graph(args.graph)
-    assignments = read_assignments(args.assignments)
-    partitions = sorted(set(assignments.values()))
-    placement = Placement(assignments, partitions,
-                          num_machines=args.machines)
     programs = {
         "pagerank": lambda: PageRank(iterations=args.iterations),
         "components": lambda: ConnectedComponents(),
@@ -202,20 +277,134 @@ def _run_process(args: argparse.Namespace) -> int:
         "labelprop": lambda: LabelPropagation(max_iterations=args.iterations),
     }
     workload = "pagerank" if args.workload != "coloring" else "coloring"
-    engine = Engine(graph, placement, cost_model_for(workload),
-                    mode=args.mode)
-    report = engine.run(programs[args.workload](),
-                        max_supersteps=args.iterations + 2)
+    cost_model = cost_model_for(workload)
+    program = programs[args.workload]()
+    max_supersteps = args.iterations + 2
+    machines = args.machines if args.machines is not None else 8
+    mode = args.mode if args.mode is not None else "dense"
+
+    if args.cluster:
+        from repro.cluster import ClusterEngine
+        from repro.graph.shard import ShardedGraph
+
+        sharded = ShardedGraph.from_assignments(
+            assignments, partitions=partitions,
+            vertices=graph.vertices())
+        if (args.cluster_backend or "serial") == "process":
+            engine = ClusterEngine(sharded, cost_model,
+                                   backend="process",
+                                   num_workers=args.workers)
+        else:
+            engine = ClusterEngine(sharded, cost_model, backend="serial",
+                                   num_machines=machines)
+        report = engine.run(program, max_supersteps=max_supersteps)
+        stats = engine.placement.stats()
+        print(f"workload:            {report.algorithm}")
+        print(f"execution:           cluster ({report.backend}, "
+              f"{report.num_shards} shards, {report.num_machines} "
+              f"machines{'' if report.sharded else ', unsharded fallback'})")
+        print(f"supersteps:          {report.supersteps}")
+        print(f"converged:           {report.converged}")
+        print(f"messages sent:       {report.messages_sent}")
+        print(f"simulated latency:   {report.latency_ms:.2f} ms")
+        print(f"measured wall:       {report.wall_ms_total:.2f} ms")
+        if report.sharded:
+            print(f"sync messages:       "
+                  f"{report.remote_sync_messages} remote + "
+                  f"{report.local_sync_messages} local "
+                  f"({report.sync_payload_bytes} payload bytes)")
+        print(f"replication degree:  {stats.replication_degree:.4f}")
+        return 0
+
+    placement = Placement(assignments, partitions,
+                          num_machines=machines)
+    engine = Engine(graph, placement, cost_model, mode=mode)
+    report = engine.run(program, max_supersteps=max_supersteps)
     print(f"workload:            {report.algorithm}")
-    print(f"mode:                {args.mode}")
+    print(f"mode:                {mode}")
     print(f"supersteps:          {report.supersteps}")
     print(f"converged:           {report.converged}")
     print(f"messages sent:       {report.messages_sent}")
     print(f"simulated latency:   {report.latency_ms:.2f} ms "
-          f"({args.machines} machines)")
+          f"({machines} machines)")
     stats = placement.stats()
     print(f"replication degree:  {stats.replication_degree:.4f}")
     return 0
+
+
+def _run_process(args: argparse.Namespace) -> int:
+    from repro.partitioning.partition_io import read_assignments
+
+    error = _validate_processing_flags(args)
+    if error is not None:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    graph = read_graph(args.graph)
+    assignments = read_assignments(args.assignments)
+    partitions = sorted(set(assignments.values()))
+    return _execute_processing(graph, assignments, partitions, args)
+
+
+def _run_pipeline(args: argparse.Namespace) -> int:
+    """Chain partition -> write_assignments -> (sharded) process."""
+    from repro.partitioning.partition_io import write_assignments
+
+    error = _validate_processing_flags(args)
+    if error is not None:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if args.fast and args.algorithm not in _FAST_CAPABLE:
+        print(f"error: --fast is not supported for {args.algorithm} "
+              f"(supported: {', '.join(sorted(_FAST_CAPABLE))})",
+              file=sys.stderr)
+        return 2
+    if args.load_workers < 1:
+        print("error: --load-workers must be >= 1", file=sys.stderr)
+        return 2
+
+    partitions = list(range(args.partitions))
+    kwargs: dict = {"fast": True} if args.fast else {}
+    if args.algorithm == "adwise":
+        kwargs.update(latency_preference_ms=args.latency_preference,
+                      use_clustering=not args.no_clustering)
+
+    if args.load_workers > 1:
+        from repro.partitioning.parallel import (
+            ParallelLoader,
+            PartitionerSpec,
+        )
+        try:
+            loader = ParallelLoader(
+                PartitionerSpec(args.algorithm, kwargs),
+                partitions=partitions,
+                num_instances=args.load_workers, spread=args.spread,
+                backend="process")
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        result = loader.run_file(args.path)
+        assignments = result.assignments
+    else:
+        if args.spread is not None:
+            print("error: --spread only applies to parallel loading; "
+                  "pass --load-workers N (N > 1)", file=sys.stderr)
+            return 2
+        partitioner = _ALGORITHMS[args.algorithm](
+            partitions, clock=SimulatedClock(), **kwargs)
+        result = partitioner.partition_stream(FileEdgeStream(args.path))
+        assignments = result.assignments
+
+    output = args.output or f"{args.path}.parts"
+    written = write_assignments(
+        output, assignments,
+        header=f"algorithm={args.algorithm} k={args.partitions}")
+    print(f"partitioned:         {written} edges "
+          f"({args.algorithm}, k={args.partitions}, "
+          f"replication {result.replication_degree:.4f})")
+    print(f"assignments written: {output}")
+
+    graph = read_graph(args.path)
+    return _execute_processing(graph, assignments, partitions, args)
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -226,6 +415,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _run_stats(args)
     if args.command == "process":
         return _run_process(args)
+    if args.command == "pipeline":
+        return _run_pipeline(args)
     return 2  # pragma: no cover - argparse enforces the choices
 
 

@@ -1,0 +1,39 @@
+"""Sharded distributed BSP runtime (real multi-process graph processing).
+
+Where :class:`~repro.engine.runtime.Engine` *simulates* a cluster's
+latency on one unsharded graph, this package *executes* the
+PowerGraph-style master/mirror model the simulation stands in for:
+:class:`~repro.graph.shard.ShardedGraph` splits any edge -> partition
+assignment into per-partition CSR shards, and :class:`ClusterEngine`
+runs BSP supersteps shard-locally (reusing the programs' dense kernels)
+with gather-to-master / scatter-to-mirrors replica synchronisation
+between supersteps — in-process (``serial``) or across worker OS
+processes (``process``) — while measuring wall-clock and the actual
+remote/local sync traffic next to the simulated latency.
+"""
+
+from repro.cluster.runtime import (
+    ClusterEngine,
+    ClusterReport,
+    SuperstepTelemetry,
+)
+from repro.cluster.transport import (
+    BACKENDS,
+    ProcessTransport,
+    SerialTransport,
+    SyncStats,
+)
+from repro.graph.shard import Shard, ShardCSR, ShardedGraph
+
+__all__ = [
+    "BACKENDS",
+    "ClusterEngine",
+    "ClusterReport",
+    "ProcessTransport",
+    "SerialTransport",
+    "Shard",
+    "ShardCSR",
+    "ShardedGraph",
+    "SuperstepTelemetry",
+    "SyncStats",
+]

@@ -1,0 +1,561 @@
+"""Replica-sync transports for the sharded cluster runtime.
+
+Each BSP superstep runs every shard's dense kernel locally, producing
+*partial* per-target message combinations (partial sums / mins / counts
+over the shard's own adjacency slots).  The transport then performs the
+PowerGraph synchronisation round that makes replicas globally consistent:
+
+* **gather** — every mirror replica sends its partial (value, received)
+  slice to the vertex's master partition, which folds the contributions
+  in ascending partition order (master's own partial first — a fixed
+  association, so the serial and process backends are bit-identical);
+* **scatter** — the master broadcasts the combined slice back to every
+  mirror, which overwrites its local arrays in place.
+
+Both directions move one logical message per shared vertex per channel,
+so a syncing superstep carries exactly ``2 · (span − 1)`` messages per
+replicated vertex — the quantity
+:meth:`repro.engine.placement.Placement.stats` predicts.  The transports
+*measure* rather than assume it: every applied payload is recorded as
+remote (endpoint partitions on different machines) or local (same
+machine) message counts per machine, plus payload bytes, and the
+differential test layer holds the measurement equal to the prediction.
+
+Two backends share the exchange logic through :class:`ShardGroup`:
+
+* :class:`SerialTransport` — all shards in this process, stepped
+  sequentially.  Deterministic reference semantics; "machines" are the
+  logical machine map used for remote/local classification.
+* :class:`ProcessTransport` — shards grouped onto worker OS processes
+  (one worker per partition by default), long-lived over
+  ``multiprocessing`` pipes.  The pickle boundary is narrow, PR-2 style:
+  shard arrays ship once at start-up, then only channel slices and small
+  telemetry tuples cross per superstep.  Machines *are* the workers, so
+  remote messages are exactly the payloads that crossed a pipe.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.engine.dense import DenseKernel
+from repro.engine.vertex_program import VertexProgram
+from repro.graph.shard import Shard, ShardedGraph
+
+#: Transport backends understood by :class:`~repro.cluster.runtime.ClusterEngine`.
+BACKENDS = ("serial", "process")
+
+
+@dataclass
+class SyncStats:
+    """Measured replica-sync traffic of one superstep."""
+
+    remote_messages: int = 0
+    local_messages: int = 0
+    payload_bytes: int = 0
+    remote_per_machine: Dict[int, int] = field(default_factory=dict)
+    local_per_machine: Dict[int, int] = field(default_factory=dict)
+
+    def record(self, src_part: int, dst_part: int, messages: int,
+               nbytes: int, machine_of: Mapping[int, int]) -> None:
+        """Record ``messages`` flowing ``src_part -> dst_part``.
+
+        Mirrors the prediction's accounting: every message charges *both*
+        endpoint machines, and counts as remote only when the endpoints'
+        machines differ.
+        """
+        src_machine = machine_of[src_part]
+        dst_machine = machine_of[dst_part]
+        self.payload_bytes += nbytes
+        if src_machine == dst_machine:
+            self.local_messages += messages
+            self.local_per_machine[src_machine] = (
+                self.local_per_machine.get(src_machine, 0) + messages)
+            self.local_per_machine[dst_machine] = (
+                self.local_per_machine.get(dst_machine, 0) + messages)
+        else:
+            self.remote_messages += messages
+            self.remote_per_machine[src_machine] = (
+                self.remote_per_machine.get(src_machine, 0) + messages)
+            self.remote_per_machine[dst_machine] = (
+                self.remote_per_machine.get(dst_machine, 0) + messages)
+
+    def merge(self, other: "SyncStats") -> None:
+        self.remote_messages += other.remote_messages
+        self.local_messages += other.local_messages
+        self.payload_bytes += other.payload_bytes
+        for machine, count in other.remote_per_machine.items():
+            self.remote_per_machine[machine] = (
+                self.remote_per_machine.get(machine, 0) + count)
+        for machine, count in other.local_per_machine.items():
+            self.local_per_machine[machine] = (
+                self.local_per_machine.get(machine, 0) + count)
+
+
+@dataclass
+class _PendingSync:
+    """One shard's deferred scatter: local partials awaiting replica sync.
+
+    The kernel stores the exact arrays below into its message buffers
+    (``has_msg``, ``incoming``, ...), so in-place mutation after the
+    barrier updates the kernel's state for the next superstep.
+    """
+
+    kind: str  # "sum" | "min" | "count"
+    values: np.ndarray
+    recv: np.ndarray
+
+
+class ShardRunner:
+    """One shard's kernel plus the replica-sync interception layer.
+
+    The program's own :class:`~repro.engine.dense.DenseKernel` runs
+    unmodified over the shard CSR; the runner rebinds its scatter helpers
+    so each per-target combination is computed over *local* slots only
+    and parked as a :class:`_PendingSync` for the transport, and rebinds
+    ``sent_from`` to count sends from the shard-local adjacency lists
+    (``csr.degrees`` on a shard is the logical global degree).
+    """
+
+    def __init__(self, shard: Shard, program: VertexProgram) -> None:
+        kernel = program.dense_kernel(shard.csr)
+        if kernel is None:
+            raise ValueError(
+                f"{program.name}: dense_kernel returned None; sharded "
+                "execution needs a dense kernel")
+        kernel.owned = shard.owned.copy()
+        # Instance-attribute rebinding: kernels invoke the helpers via
+        # ``self.scatter_*`` / ``self.sent_from``, so these shadow the
+        # class methods for this kernel only.
+        kernel.scatter_sum = self._scatter_sum
+        kernel.scatter_min = self._scatter_min
+        kernel.scatter_count = self._scatter_count
+        kernel.sent_from = self._sent_from
+        self.shard = shard
+        self.kernel = kernel
+        self.pending: Optional[_PendingSync] = None
+        self._mask: Optional[np.ndarray] = None
+
+    # -- intercepted kernel helpers ------------------------------------
+    def _sent_from(self, send_mask: np.ndarray) -> int:
+        return int(self.shard.csr.local_degrees[send_mask].sum())
+
+    def _park(self, kind: str, values: np.ndarray,
+              recv: np.ndarray) -> None:
+        if self.pending is not None:
+            raise RuntimeError(
+                "sharded kernel protocol violation: more than one scatter "
+                "per superstep (see repro.engine.dense)")
+        self.pending = _PendingSync(kind, values, recv)
+
+    def _scatter_sum(self, send_mask: np.ndarray,
+                     values: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        # The base helpers already combine over this shard's local slots
+        # (the kernel's csr *is* the shard CSR); the interception only
+        # parks the result for the replica-sync barrier.
+        recv, sums = DenseKernel.scatter_sum(self.kernel, send_mask,
+                                             values)
+        self._park("sum", sums, recv)
+        return recv, sums
+
+    def _scatter_min(self, send_mask: np.ndarray, values: np.ndarray,
+                     sentinel: Any) -> Tuple[np.ndarray, np.ndarray]:
+        recv, mins = DenseKernel.scatter_min(self.kernel, send_mask,
+                                             values, sentinel)
+        self._park("min", mins, recv)
+        return recv, mins
+
+    def _scatter_count(self, send_mask: np.ndarray
+                       ) -> Tuple[np.ndarray, np.ndarray]:
+        recv, counts = DenseKernel.scatter_count(self.kernel, send_mask)
+        self._park("count", counts, recv)
+        return recv, counts
+
+    # -- superstep protocol --------------------------------------------
+    def begin_superstep(self) -> int:
+        """Compute this superstep's mask; return the owned computed count."""
+        self._mask = self.kernel.compute_mask()
+        return int((self._mask & self.shard.owned).sum())
+
+    def step(self, superstep: int) -> Tuple[int, Any, float]:
+        """Run the kernel step; return (sent, aggregate, compute_seconds)."""
+        self.pending = None
+        start = time.perf_counter()
+        sent, aggregate = self.kernel.step(superstep, self._mask)
+        return int(sent), aggregate, time.perf_counter() - start
+
+    def states(self) -> Dict[int, Any]:
+        """Final states of the vertices mastered on this shard."""
+        owned_ids = set(
+            self.shard.csr.vertex_ids[self.shard.owned].tolist())
+        return {vertex: state
+                for vertex, state in self.kernel.states().items()
+                if vertex in owned_ids}
+
+
+#: A routed sync payload: (dst_partition, src_partition, values, recv).
+_Payload = Tuple[int, int, np.ndarray, np.ndarray]
+
+
+@dataclass
+class GroupStepResult:
+    sent: int
+    aggregate: Any
+    compute_seconds: float
+    syncing: bool
+
+
+def _reduce_aggregates(parts: Iterable[Any]) -> Any:
+    """Sum non-``None`` contributions; ``None`` when nothing contributed
+    (exactly the object path's aggregate folding)."""
+    total: Any = None
+    for part in parts:
+        if part is not None:
+            total = part if total is None else total + part
+    return total
+
+
+class ShardGroup:
+    """A set of shard runners co-hosted in one process ("machine").
+
+    The serial backend uses a single group for all shards; the process
+    backend gives each worker one group.  Sync payloads between two
+    shards of the same group never leave the process and are counted as
+    *local* traffic; cross-group payloads are routed by the coordinator
+    and counted as *remote* — the machine map and the host map coincide.
+    """
+
+    def __init__(self, shards: List[Shard], program: VertexProgram,
+                 machine_of: Mapping[int, int],
+                 host_of: Mapping[int, int], host: int) -> None:
+        self.runners = {shard.partition: ShardRunner(shard, program)
+                        for shard in shards}
+        self.machine_of = dict(machine_of)
+        self.host_of = dict(host_of)
+        self.host = host
+        self._staged: List[_Payload] = []
+        self.stats = SyncStats()
+
+    # -- superstep ------------------------------------------------------
+    def compute_owned(self) -> int:
+        return sum(runner.begin_superstep()
+                   for _, runner in sorted(self.runners.items()))
+
+    def step(self, superstep: int) -> GroupStepResult:
+        self.stats = SyncStats()
+        self._staged = []
+        sent = 0
+        aggregates = []
+        compute = 0.0
+        syncing: Optional[bool] = None
+        for _, runner in sorted(self.runners.items()):
+            shard_sent, aggregate, seconds = runner.step(superstep)
+            sent += shard_sent
+            aggregates.append(aggregate)
+            compute = max(compute, seconds)
+            shard_syncing = runner.pending is not None
+            if syncing is None:
+                syncing = shard_syncing
+            elif syncing != shard_syncing:
+                raise RuntimeError(
+                    "shards disagree on whether this superstep syncs — "
+                    "non-deterministic kernel")
+        return GroupStepResult(sent=sent,
+                               aggregate=_reduce_aggregates(aggregates),
+                               compute_seconds=compute,
+                               syncing=bool(syncing))
+
+    # -- gather phase ---------------------------------------------------
+    def collect_gathers(self) -> Dict[int, List[_Payload]]:
+        """Mirror -> master slices, keyed by destination host.  Payloads
+        for this host are staged internally instead of returned."""
+        outbound: Dict[int, List[_Payload]] = {}
+        for src, runner in sorted(self.runners.items()):
+            pending = runner.pending
+            if pending is None:
+                continue
+            for dst, idx in sorted(runner.shard.mirror_channels.items()):
+                payload: _Payload = (dst, src, pending.values[idx],
+                                     pending.recv[idx])
+                host = self.host_of[dst]
+                if host == self.host:
+                    self._staged.append(payload)
+                else:
+                    outbound.setdefault(host, []).append(payload)
+        return outbound
+
+    def apply_gathers(self, inbound: List[_Payload]) -> None:
+        """Fold mirror partials into the masters' pending arrays.
+
+        Association is fixed — the master's own partial is the base, then
+        contributions in ascending mirror-partition order — so serial and
+        process backends produce bit-identical combined values.
+        """
+        by_master: Dict[int, Dict[int, Tuple[np.ndarray, np.ndarray]]] = {}
+        for dst, src, values, recv in self._staged + inbound:
+            by_master.setdefault(dst, {})[src] = (values, recv)
+        self._staged = []
+        for dst in sorted(by_master):
+            runner = self.runners[dst]
+            pending = runner.pending
+            for src in sorted(by_master[dst]):
+                values, recv = by_master[dst][src]
+                idx = runner.shard.master_channels[src]
+                if pending.kind == "min":
+                    pending.values[idx] = np.minimum(pending.values[idx],
+                                                     values)
+                else:  # "sum" / "count" combine additively
+                    pending.values[idx] = pending.values[idx] + values
+                pending.recv[idx] |= recv
+                self.stats.record(src, dst, len(idx),
+                                  values.nbytes + recv.nbytes,
+                                  self.machine_of)
+
+    # -- scatter phase --------------------------------------------------
+    def collect_scatters(self) -> Dict[int, List[_Payload]]:
+        """Master -> mirror combined slices, keyed by destination host."""
+        outbound: Dict[int, List[_Payload]] = {}
+        for src, runner in sorted(self.runners.items()):
+            pending = runner.pending
+            if pending is None:
+                continue
+            for dst, idx in sorted(runner.shard.master_channels.items()):
+                payload: _Payload = (dst, src, pending.values[idx],
+                                     pending.recv[idx])
+                host = self.host_of[dst]
+                if host == self.host:
+                    self._staged.append(payload)
+                else:
+                    outbound.setdefault(host, []).append(payload)
+        return outbound
+
+    def apply_scatters(self, inbound: List[_Payload]) -> None:
+        """Overwrite mirrors' pending arrays with the combined values."""
+        for dst, src, values, recv in self._staged + inbound:
+            runner = self.runners[dst]
+            pending = runner.pending
+            idx = runner.shard.mirror_channels[src]
+            pending.values[idx] = values
+            pending.recv[idx] = recv
+            self.stats.record(src, dst, len(idx),
+                              values.nbytes + recv.nbytes,
+                              self.machine_of)
+        self._staged = []
+
+    # -- results --------------------------------------------------------
+    def states(self) -> Dict[int, Any]:
+        merged: Dict[int, Any] = {}
+        for _, runner in sorted(self.runners.items()):
+            merged.update(runner.states())
+        return merged
+
+
+@dataclass
+class TransportStepResult:
+    """One superstep as seen by the coordinator."""
+
+    sent: int
+    aggregate: Any
+    compute_seconds: float
+    synced: bool
+    stats: SyncStats
+
+
+class SerialTransport:
+    """All shards in this process, stepped sequentially — the
+    deterministic reference backend the process backend is tested
+    against.  The machine map is purely logical here (default: one
+    machine per partition) and only classifies traffic."""
+
+    backend = "serial"
+
+    def __init__(self, sharded: ShardedGraph, program: VertexProgram,
+                 machine_of: Mapping[int, int]) -> None:
+        shards = [sharded.shards[p] for p in sharded.partitions]
+        # Single host: every partition is host 0; remote/local
+        # classification still follows the logical machine map.
+        host_of = {p: 0 for p in sharded.partitions}
+        self.group = ShardGroup(shards, program, machine_of, host_of,
+                                host=0)
+        self.num_hosts = 1
+
+    def compute_owned(self) -> int:
+        return self.group.compute_owned()
+
+    def step(self, superstep: int) -> TransportStepResult:
+        result = self.group.step(superstep)
+        if result.syncing:
+            outbound = self.group.collect_gathers()
+            assert not outbound, "serial transport routed off-host"
+            self.group.apply_gathers([])
+            outbound = self.group.collect_scatters()
+            assert not outbound, "serial transport routed off-host"
+            self.group.apply_scatters([])
+        return TransportStepResult(sent=result.sent,
+                                   aggregate=result.aggregate,
+                                   compute_seconds=result.compute_seconds,
+                                   synced=result.syncing,
+                                   stats=self.group.stats)
+
+    def states(self) -> Dict[int, Any]:
+        return self.group.states()
+
+    def close(self) -> None:
+        pass
+
+
+def _cluster_worker(conn, shards: List[Shard], program: VertexProgram,
+                    machine_of: Dict[int, int], host_of: Dict[int, int],
+                    host: int) -> None:
+    """Worker process main loop: one :class:`ShardGroup`, command-driven.
+
+    Commands are small tuples; sync payloads are numpy slices.  The
+    worker stages intra-host payloads itself and only ships cross-host
+    slices back to the coordinator for routing.
+    """
+    group = ShardGroup(shards, program, machine_of, host_of, host)
+    while True:
+        message = conn.recv()
+        op = message[0]
+        if op == "mask":
+            conn.send(group.compute_owned())
+        elif op == "step":
+            result = group.step(message[1])
+            outbound = (group.collect_gathers() if result.syncing else {})
+            conn.send((result.sent, result.aggregate,
+                       result.compute_seconds, result.syncing, outbound))
+        elif op == "gather":
+            group.apply_gathers(message[1])
+            conn.send(group.collect_scatters())
+        elif op == "scatter":
+            group.apply_scatters(message[1])
+            conn.send(group.stats)
+        elif op == "states":
+            conn.send(group.states())
+        elif op == "stop":
+            conn.close()
+            return
+        else:  # pragma: no cover - defensive
+            raise RuntimeError(f"unknown cluster worker op {op!r}")
+
+
+class ProcessTransport:
+    """One long-lived worker process per host, shards grouped onto hosts.
+
+    The default deployment is one worker per partition (hosts ==
+    partitions); ``num_workers`` groups partitions onto fewer workers in
+    contiguous blocks, exactly like
+    :meth:`~repro.engine.placement.Placement.contiguous_machine_map` —
+    and the machine map *is* the worker map, so measured remote traffic
+    is precisely the payload volume that crossed a process boundary.
+    """
+
+    backend = "process"
+
+    def __init__(self, sharded: ShardedGraph, program: VertexProgram,
+                 machine_of: Mapping[int, int]) -> None:
+        partitions = sharded.partitions
+        self.machine_of = dict(machine_of)
+        hosts = sorted(set(self.machine_of.values()))
+        self.num_hosts = len(hosts)
+        context = mp.get_context()
+        self._processes = []
+        self._conns = {}
+        try:
+            for host in hosts:
+                parent_conn, child_conn = context.Pipe()
+                shards = [sharded.shards[p] for p in partitions
+                          if self.machine_of[p] == host]
+                process = context.Process(
+                    target=_cluster_worker,
+                    args=(child_conn, shards, program, self.machine_of,
+                          self.machine_of, host),
+                    daemon=True)
+                process.start()
+                child_conn.close()
+                self._processes.append(process)
+                self._conns[host] = parent_conn
+        except Exception:
+            self.close()
+            raise
+
+    def _broadcast(self, message) -> Dict[int, Any]:
+        for conn in self._conns.values():
+            conn.send(message)
+        return {host: conn.recv() for host, conn in self._conns.items()}
+
+    def compute_owned(self) -> int:
+        return sum(self._broadcast(("mask",)).values())
+
+    def step(self, superstep: int) -> TransportStepResult:
+        replies = self._broadcast(("step", superstep))
+        sent = sum(reply[0] for reply in replies.values())
+        aggregate = _reduce_aggregates(
+            replies[host][1] for host in sorted(replies))
+        compute = max(reply[2] for reply in replies.values())
+        syncing = {reply[3] for reply in replies.values()}
+        if len(syncing) > 1:
+            raise RuntimeError("workers disagree on sync — "
+                               "non-deterministic kernel")
+        synced = syncing.pop()
+        stats = SyncStats()
+        if synced:
+            # Route gather payloads, then scatter payloads, through the
+            # coordinator hub (logical channels stay point-to-point and
+            # are counted as such by the receiving group).
+            routed = self._route(replies, payload_index=4)
+            for host, conn in sorted(self._conns.items()):
+                conn.send(("gather", routed.get(host, [])))
+            scatter_replies = {host: conn.recv()
+                               for host, conn in sorted(self._conns.items())}
+            routed = self._route(scatter_replies, payload_index=None)
+            for host, conn in sorted(self._conns.items()):
+                conn.send(("scatter", routed.get(host, [])))
+            for host, conn in sorted(self._conns.items()):
+                stats.merge(conn.recv())
+        return TransportStepResult(sent=sent, aggregate=aggregate,
+                                   compute_seconds=compute,
+                                   synced=synced, stats=stats)
+
+    @staticmethod
+    def _route(replies: Dict[int, Any],
+               payload_index: Optional[int]) -> Dict[int, List[_Payload]]:
+        """Merge per-worker ``{dst_host: payloads}`` maps into one
+        routing table, in ascending source-host order (deterministic)."""
+        routed: Dict[int, List[_Payload]] = {}
+        for host in sorted(replies):
+            reply = replies[host]
+            outbound = reply[payload_index] if payload_index is not None \
+                else reply
+            for dst_host, payloads in sorted(outbound.items()):
+                routed.setdefault(dst_host, []).extend(payloads)
+        return routed
+
+    def states(self) -> Dict[int, Any]:
+        merged: Dict[int, Any] = {}
+        for host in sorted(self._conns):
+            self._conns[host].send(("states",))
+        for host in sorted(self._conns):
+            merged.update(self._conns[host].recv())
+        return merged
+
+    def close(self) -> None:
+        for conn in self._conns.values():
+            try:
+                conn.send(("stop",))
+            except (BrokenPipeError, OSError):  # pragma: no cover
+                pass
+        for process in self._processes:
+            process.join(timeout=10)
+            if process.is_alive():  # pragma: no cover - defensive
+                process.terminate()
+                process.join(timeout=5)
+        for conn in self._conns.values():
+            conn.close()
+        self._conns = {}
+        self._processes = []

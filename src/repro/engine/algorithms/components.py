@@ -48,6 +48,8 @@ class ConnectedComponents(VertexProgram):
     """State is the smallest vertex id seen in the component so far."""
 
     name = "components"
+    #: Kernel follows the sharded contract: one trailing scatter_min.
+    shardable = True
 
     def initial_state(self, vertex: int, degree: int) -> int:
         return vertex

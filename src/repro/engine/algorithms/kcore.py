@@ -60,6 +60,9 @@ class KCore(VertexProgram):
     """State is ``(alive, removed_neighbor_count)``."""
 
     name = "kcore"
+    #: Kernel follows the sharded contract: one trailing scatter_count,
+    #: degrees read as logical degrees (the peeling threshold).
+    shardable = True
 
     def __init__(self, k: int) -> None:
         if k < 1:

@@ -68,6 +68,9 @@ class PageRank(VertexProgram):
     """
 
     name = "pagerank"
+    #: Kernel follows the sharded contract: one trailing scatter_sum per
+    #: superstep, degrees read as logical degrees (the rank share).
+    shardable = True
 
     def __init__(self, iterations: int = 100) -> None:
         if iterations < 1:

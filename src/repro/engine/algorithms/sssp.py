@@ -55,6 +55,8 @@ class SingleSourceShortestPaths(VertexProgram):
     """State is the best-known distance from the source (inf if unreached)."""
 
     name = "sssp"
+    #: Kernel follows the sharded contract: one trailing scatter_min.
+    shardable = True
 
     def __init__(self, source: int) -> None:
         self.source = source

@@ -26,6 +26,25 @@ Message exchange is expressed with the scatter helpers below: a send mask
 selects adjacency slots via the CSR ``rows`` array, and per-target
 combination is a segment sum (``np.bincount``), min (``np.minimum.at``)
 or count over the selected ``indices``.
+
+Sharded execution (the cluster runtime's contract)
+--------------------------------------------------
+:mod:`repro.cluster` runs one kernel instance per partition over a
+:class:`~repro.graph.shard.ShardCSR` and keeps replicas consistent by
+combining the scatter helpers' per-shard partial results at each vertex's
+master replica (sum/min/count are all associative) and broadcasting the
+combined value back to the mirrors.  A kernel is safe to shard — and its
+program may declare :attr:`~repro.engine.vertex_program.VertexProgram.
+shardable` — when it follows the message-buffer discipline:
+
+* all inter-vertex data flows through ``scatter_sum`` / ``scatter_min`` /
+  ``scatter_count``, at most one call per superstep, issued as the *last*
+  data exchange of :meth:`step` (results are stored, and only read in the
+  next superstep — never consumed within the same ``step`` call);
+* ``csr.degrees`` is read as the vertex's *logical* (whole-graph) degree
+  — true on a shard too, where :class:`~repro.graph.shard.ShardCSR`
+  presents global degrees while the slot layout stays shard-local;
+* per-vertex aggregate contributions are masked with ``self.owned``.
 """
 
 from __future__ import annotations
@@ -52,6 +71,13 @@ class DenseKernel:
         self.active = np.ones(n, dtype=bool)
         #: Vertices with a pending message for the next superstep.
         self.has_msg = np.zeros(n, dtype=bool)
+        #: Vertices this kernel instance *owns* for global accounting.
+        #: All of them on a whole-graph run; under the sharded cluster
+        #: runtime (:mod:`repro.cluster`) only master replicas, so that
+        #: per-shard aggregate contributions sum to the global aggregate
+        #: without double-counting mirrors.  Kernels computing aggregates
+        #: must mask their per-vertex contributions with ``self.owned``.
+        self.owned = np.ones(n, dtype=bool)
 
     # ------------------------------------------------------------------
     # Engine-facing protocol

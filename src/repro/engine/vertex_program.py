@@ -63,6 +63,14 @@ class VertexProgram:
     #: Name used by cost-model presets and reports.
     name = "abstract"
 
+    #: True when this program's :meth:`dense_kernel` follows the sharded
+    #: execution contract (see :mod:`repro.engine.dense`), so the cluster
+    #: runtime (:mod:`repro.cluster`) may run it shard-locally with
+    #: master/mirror replica synchronisation.  Programs without the flag
+    #: (or without a kernel) run on the cluster engine's unsharded
+    #: fallback path instead.
+    shardable = False
+
     def initial_state(self, vertex: int, degree: int) -> Any:
         """State of ``vertex`` before superstep 0."""
         raise NotImplementedError

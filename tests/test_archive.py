@@ -36,6 +36,29 @@ class TestRoundTrip:
         with pytest.raises(ValueError):
             load_archive(path)
 
+    def test_measured_wall_round_trips(self, tmp_path):
+        row = make_row("ADWISE")
+        row.block_wall_ms = [3.5, 3.7]
+        path = tmp_path / "exp.json"
+        save_archive(path, "calib", [row])
+        _, loaded, _ = load_archive(path)
+        assert loaded[0].block_wall_ms == [3.5, 3.7]
+        assert loaded[0].total_wall_ms == pytest.approx(7.2)
+
+    def test_loads_archives_without_wall_field(self, tmp_path):
+        """Version-1 archives written before block_wall_ms existed."""
+        import json
+        payload = {
+            "format_version": 1, "experiment": "old", "metadata": {},
+            "rows": [{"label": "HDRF", "partitioning_ms": 1.0,
+                      "block_ms": [2.0], "replication_degree": 2.0,
+                      "imbalance": 0.0, "score_computations": 5}],
+        }
+        path = tmp_path / "old.json"
+        path.write_text(json.dumps(payload))
+        _, loaded, _ = load_archive(path)
+        assert loaded[0].block_wall_ms == []
+
 
 class TestDiff:
     def test_no_changes_below_threshold(self):

@@ -103,6 +103,41 @@ class TestStackedLatency:
                 graph, stream_factory, CONFIGS, workload="nope",
                 num_partitions=8, num_instances=4, spread=2)
 
+    def test_measured_wall_next_to_simulated(self, graph, stream_factory):
+        """measure_wall=True runs each block on the cluster runtime and
+        records real wall-clock next to the simulated latency."""
+        rows = stacked_latency_experiment(
+            graph, stream_factory, CONFIGS,
+            workload="pagerank", block_iterations=5, num_blocks=2,
+            num_partitions=8, num_instances=4, spread=2,
+            enforce_balance=False, measure_wall=True)
+        for row in rows:
+            assert len(row.block_wall_ms) == len(row.block_ms) == 2
+            assert all(wall > 0 for wall in row.block_wall_ms)
+            assert row.total_wall_ms == pytest.approx(
+                sum(row.block_wall_ms))
+
+    def test_measured_wall_with_program_factory(self, graph,
+                                                stream_factory):
+        from repro.engine.algorithms import ConnectedComponents
+
+        rows = stacked_latency_experiment(
+            graph, stream_factory, CONFIGS[:1],
+            workload="pagerank", block_iterations=30, num_blocks=1,
+            program_factory=lambda g: ConnectedComponents(),
+            num_partitions=8, num_instances=4, spread=2,
+            enforce_balance=False, measure_wall=True)
+        assert rows[0].block_wall_ms[0] > 0
+
+    def test_wall_defaults_off(self, graph, stream_factory):
+        rows = stacked_latency_experiment(
+            graph, stream_factory, CONFIGS[:1],
+            workload="pagerank", block_iterations=5, num_blocks=1,
+            num_partitions=8, num_instances=4, spread=2,
+            enforce_balance=False)
+        assert rows[0].block_wall_ms == []
+        assert rows[0].total_wall_ms == 0.0
+
 
 class TestReplicationSweep:
     def test_rows_match_configs(self, stream_factory):

@@ -123,3 +123,176 @@ class TestStatsCommand:
         out = capsys.readouterr().out
         assert "c-hat" in out
         assert "120" in out
+
+
+@pytest.fixture
+def assignments_file(graph_file, tmp_path, capsys):
+    path = str(tmp_path / "g.parts")
+    assert main(["partition", graph_file, "--algorithm", "hdrf",
+                 "--partitions", "4", "--output", path]) == 0
+    capsys.readouterr()
+    return path
+
+
+class TestProcessCommand:
+    def test_simulated_run(self, graph_file, assignments_file, capsys):
+        code = main(["process", graph_file, assignments_file,
+                     "--workload", "pagerank", "--iterations", "5"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "simulated latency:" in out
+        assert "mode:                dense" in out
+
+    def test_cluster_serial_run(self, graph_file, assignments_file,
+                                capsys):
+        code = main(["process", graph_file, assignments_file,
+                     "--workload", "components", "--cluster"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "cluster (serial" in out
+        assert "measured wall:" in out
+        assert "sync messages:" in out
+
+    def test_cluster_process_run(self, graph_file, assignments_file,
+                                 capsys):
+        code = main(["process", graph_file, assignments_file,
+                     "--workload", "pagerank", "--iterations", "4",
+                     "--cluster", "--cluster-backend", "process",
+                     "--workers", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "cluster (process" in out
+        assert "2 machines" in out
+
+    def test_cluster_fallback_noted(self, graph_file, assignments_file,
+                                    capsys):
+        code = main(["process", graph_file, assignments_file,
+                     "--workload", "coloring", "--iterations", "10",
+                     "--cluster"])
+        assert code == 0
+        assert "unsharded fallback" in capsys.readouterr().out
+
+    def test_workers_without_process_backend_rejected(
+            self, graph_file, assignments_file, capsys):
+        code = main(["process", graph_file, assignments_file,
+                     "--cluster", "--workers", "2"])
+        assert code == 2
+        assert "--workers" in capsys.readouterr().err
+
+    def test_cluster_backend_without_cluster_rejected(
+            self, graph_file, assignments_file, capsys):
+        code = main(["process", graph_file, assignments_file,
+                     "--cluster-backend", "process"])
+        assert code == 2
+        assert "--cluster-backend" in capsys.readouterr().err
+
+    def test_zero_workers_rejected(self, graph_file, assignments_file,
+                                   capsys):
+        code = main(["process", graph_file, assignments_file,
+                     "--cluster", "--cluster-backend", "process",
+                     "--workers", "0"])
+        assert code == 2
+        assert "--workers" in capsys.readouterr().err
+
+    def test_mode_with_cluster_rejected(self, graph_file,
+                                        assignments_file, capsys):
+        code = main(["process", graph_file, assignments_file,
+                     "--cluster", "--mode", "object"])
+        assert code == 2
+        assert "--mode" in capsys.readouterr().err
+
+    def test_machines_with_process_cluster_rejected(
+            self, graph_file, assignments_file, capsys):
+        code = main(["process", graph_file, assignments_file,
+                     "--cluster", "--cluster-backend", "process",
+                     "--machines", "4"])
+        assert code == 2
+        assert "--machines" in capsys.readouterr().err
+
+    def test_pipeline_validates_flags_before_partitioning(
+            self, graph_file, capsys):
+        """Static flag errors must fire before the (expensive)
+        partitioning stage runs."""
+        code = main(["pipeline", graph_file, "--partitions", "4",
+                     "--workers", "2"])
+        assert code == 2
+        out, err = capsys.readouterr()
+        assert "--workers" in err
+        assert "partitioned:" not in out
+
+    def test_cluster_matches_simulated_metrics(
+            self, graph_file, assignments_file, capsys):
+        """Same workload: supersteps/messages/simulated latency agree
+        between the simulator and the sharded runtime."""
+        assert main(["process", graph_file, assignments_file,
+                     "--workload", "components"]) == 0
+        simulated = capsys.readouterr().out
+        assert main(["process", graph_file, assignments_file,
+                     "--workload", "components", "--cluster"]) == 0
+        cluster = capsys.readouterr().out
+
+        def metric(text, name):
+            for line in text.splitlines():
+                if line.startswith(name):
+                    # Value only ("15.66 ms (8 machines)" -> "15.66").
+                    return line.split(":", 1)[1].strip().split(" ")[0]
+            raise AssertionError(f"{name} not in output")
+
+        for name in ("supersteps", "messages sent", "simulated latency"):
+            assert metric(simulated, name) == metric(cluster, name)
+
+
+class TestPipelineCommand:
+    def test_chains_partition_and_process(self, graph_file, tmp_path,
+                                          capsys):
+        out_path = str(tmp_path / "pipeline.parts")
+        code = main(["pipeline", graph_file, "--algorithm", "hdrf",
+                     "--partitions", "4", "--workload", "pagerank",
+                     "--iterations", "5", "--output", out_path])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "partitioned:" in out
+        assert f"assignments written: {out_path}" in out
+        assert "simulated latency:" in out
+        # The persisted file round-trips through the process command.
+        assert main(["process", graph_file, out_path]) == 0
+
+    def test_cluster_pipeline_with_gz(self, graph_file, tmp_path, capsys):
+        out_path = str(tmp_path / "pipeline.parts.gz")
+        code = main(["pipeline", graph_file, "--algorithm", "adwise",
+                     "--partitions", "4", "--workload", "components",
+                     "--cluster", "--output", out_path])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "cluster (serial" in out
+        import gzip
+        with gzip.open(out_path, "rt") as handle:
+            assert "# algorithm=adwise" in handle.readline()
+
+    def test_parallel_loading_stage(self, graph_file, tmp_path, capsys):
+        code = main(["pipeline", graph_file, "--algorithm", "hdrf",
+                     "--partitions", "4", "--load-workers", "2",
+                     "--output", str(tmp_path / "p.parts"),
+                     "--workload", "components", "--cluster"])
+        assert code == 0
+        assert "cluster (serial" in capsys.readouterr().out
+
+    def test_default_output_next_to_input(self, graph_file, capsys):
+        code = main(["pipeline", graph_file, "--algorithm", "hash",
+                     "--partitions", "4", "--workload", "components"])
+        assert code == 0
+        assert f"{graph_file}.parts" in capsys.readouterr().out
+
+    def test_fast_unsupported_algorithm_rejected(self, graph_file,
+                                                 capsys):
+        code = main(["pipeline", graph_file, "--algorithm", "hash",
+                     "--fast", "--partitions", "4"])
+        assert code == 2
+        assert "--fast" in capsys.readouterr().err
+
+    def test_spread_without_load_workers_rejected(self, graph_file,
+                                                  capsys):
+        code = main(["pipeline", graph_file, "--partitions", "4",
+                     "--spread", "2"])
+        assert code == 2
+        assert "--load-workers" in capsys.readouterr().err

@@ -1,11 +1,15 @@
 """Tests for persisting and reloading partitionings."""
 
+import gzip
+
 import pytest
 
 from repro.graph.graph import Edge
 from repro.graph.stream import shuffled
 from repro.partitioning.hdrf import HDRFPartitioner
 from repro.partitioning.partition_io import (
+    _WRITE_BATCH,
+    iter_assignments,
     load_result,
     read_assignments,
     save_result,
@@ -36,6 +40,68 @@ class TestRoundTrip:
         path = tmp_path / "p.txt"
         path.write_text("5 2 3\n")
         assert read_assignments(path) == {Edge(2, 5): 3}
+
+
+class TestGzipAndBatching:
+    """Transparent ``.gz`` support and batched ``writelines`` writes."""
+
+    def test_gz_write_then_read(self, tmp_path):
+        assignments = {Edge(1, 2): 0, Edge(2, 3): 1, Edge(3, 4): 0}
+        path = tmp_path / "p.txt.gz"
+        written = write_assignments(path, assignments, header="compressed")
+        assert written == 3
+        assert read_assignments(path) == assignments
+        # The file really is gzip: raw bytes start with the magic and
+        # decompress to the plain-text format.
+        raw = path.read_bytes()
+        assert raw[:2] == b"\x1f\x8b"
+        text = gzip.decompress(raw).decode("utf-8")
+        assert text.startswith("# compressed\n")
+        assert "1 2 0\n" in text
+
+    def test_gz_and_plain_content_identical(self, tmp_path):
+        assignments = {Edge(i, i + 1): i % 4 for i in range(50)}
+        plain = tmp_path / "p.txt"
+        compressed = tmp_path / "p.txt.gz"
+        write_assignments(plain, assignments, header="h")
+        write_assignments(compressed, assignments, header="h")
+        assert gzip.decompress(compressed.read_bytes()).decode("utf-8") \
+            == plain.read_text()
+
+    def test_gz_save_load_result(self, tmp_path, small_powerlaw):
+        stream = shuffled(small_powerlaw.edges(), seed=3)
+        result = HDRFPartitioner(range(4)).partition_stream(stream)
+        path = tmp_path / "result.txt.gz"
+        save_result(path, result)
+        loaded = load_result(path, partitions=range(4))
+        assert loaded.assignments == result.assignments
+
+    def test_write_larger_than_one_batch(self, tmp_path):
+        count = _WRITE_BATCH + 7
+        assignments = {Edge(i, i + count): i % 8 for i in range(count)}
+        path = tmp_path / "big.txt"
+        assert write_assignments(path, assignments) == count
+        assert len(read_assignments(path)) == count
+
+    def test_iter_assignments_streams_triples(self, tmp_path):
+        path = tmp_path / "p.txt.gz"
+        write_assignments(path, {Edge(1, 2): 0, Edge(2, 3): 1},
+                          header="h")
+        assert list(iter_assignments(path)) == [(1, 2, 0), (2, 3, 1)]
+
+    def test_iter_assignments_malformed_raises(self, tmp_path):
+        path = tmp_path / "p.txt"
+        path.write_text("1 2\n")
+        with pytest.raises(ValueError):
+            list(iter_assignments(path))
+
+    def test_sharded_graph_reads_gz(self, tmp_path):
+        from repro.graph.shard import ShardedGraph
+        assignments = {Edge(0, 1): 0, Edge(1, 2): 1}
+        path = tmp_path / "p.txt.gz"
+        write_assignments(path, assignments)
+        sharded = ShardedGraph.from_file(path)
+        assert sharded.assignments == assignments
 
 
 class TestResultRoundTrip:
