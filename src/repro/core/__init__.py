@@ -6,9 +6,15 @@ from repro.core.adaptive import AdaptiveWindowController, WindowDecision
 from repro.core.adwise import AdwisePartitioner
 from repro.core.spotlight import spotlight_spreads
 
+try:
+    from repro.core.array_window import ArrayEdgeWindow
+except ImportError:  # pragma: no cover - numpy-free installs
+    ArrayEdgeWindow = None
+
 __all__ = [
     "AdaptiveBalancer",
     "AdwiseScoring",
+    "ArrayEdgeWindow",
     "EdgeWindow",
     "AdaptiveWindowController",
     "WindowDecision",

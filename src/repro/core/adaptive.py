@@ -22,7 +22,7 @@ window size.  That makes the C1/C2 logic unit-testable without a stream.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional
 
 
@@ -83,6 +83,7 @@ class AdaptiveWindowController:
         self.max_window = max_window
         self.window_size = initial_window
         self.start_ms = start_ms
+        self._peak_window = initial_window
         self.events: List[AdaptationEvent] = []
         self._block_assignments = 0
         self._block_score_sum = 0.0
@@ -139,6 +140,7 @@ class AdaptiveWindowController:
         window_before = self.window_size
         if c1 and c2 and self.window_size < self.max_window:
             self.window_size = min(self.max_window, self.window_size * 2)
+            self._peak_window = max(self._peak_window, self.window_size)
             decision = WindowDecision.GROW
         elif not c2 and self.window_size > self.min_window:
             self.window_size = max(self.min_window, self.window_size // 2)
@@ -165,11 +167,13 @@ class AdaptiveWindowController:
     # ------------------------------------------------------------------
     @property
     def max_window_reached(self) -> int:
-        """Largest window size the controller ever selected."""
-        peak = self.window_size
-        for event in self.events:
-            peak = max(peak, event.window_after, event.window_before)
-        return peak
+        """Largest window size the controller ever selected.
+
+        Tracked incrementally at each grow decision — the adaptive trace
+        (``events``) can hold one record per window block, so scanning it
+        on every result read was O(assignments).
+        """
+        return self._peak_window
 
 
 class FixedWindowController:

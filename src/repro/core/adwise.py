@@ -32,6 +32,15 @@ from repro.partitioning.base import PartitionResult, StreamingPartitioner
 from repro.partitioning.state import PartitionState
 from repro.simtime import Clock
 
+#: Valid values of ``AdwisePartitioner(window_backend=...)``.
+WINDOW_BACKENDS = ("auto", "array", "object")
+
+#: Window size at which the ``auto`` backend switches from the object
+#: window to the struct-of-arrays window.  Below this the per-slot array
+#: machinery costs more than it batches (measured crossover ~w=32 on the
+#: power-law workload); at and above it the batched kernels win outright.
+ARRAY_WINDOW_MIN_SIZE = 32
+
 
 class AdwisePartitioner(StreamingPartitioner):
     """Adaptive window-based streaming edge partitioner.
@@ -61,6 +70,17 @@ class AdwisePartitioner(StreamingPartitioner):
         :class:`~repro.partitioning.fast_state.FastPartitionState` so all
         window scoring goes through the batched ``score_all`` kernel.
         Produces bit-identical assignments to the legacy path.
+    window_backend:
+        ``"auto"`` (default) picks per window size on a fast state: the
+        struct-of-arrays :class:`~repro.core.array_window.ArrayEdgeWindow`
+        for fixed windows of at least :data:`ARRAY_WINDOW_MIN_SIZE`, the
+        dict-of-objects :class:`~repro.core.window.EdgeWindow` for small
+        windows, and — for adaptive windows — a hybrid that starts on the
+        object window and migrates (state copied verbatim) once the
+        controller grows past the threshold.  ``"array"`` and ``"object"``
+        force one implementation (the array window requires a fast
+        state).  All backends produce bit-identical results — the object
+        window is the differential reference.
     """
 
     name = "ADWISE"
@@ -78,8 +98,12 @@ class AdwisePartitioner(StreamingPartitioner):
                  min_window: int = 1,
                  max_window: int = 16384,
                  max_candidates: int = 64,
-                 fast: bool = False) -> None:
+                 fast: bool = False,
+                 window_backend: str = "auto") -> None:
         super().__init__(partitions, clock=clock, state=state, fast=fast)
+        if window_backend not in WINDOW_BACKENDS:
+            raise ValueError(f"window_backend must be one of "
+                             f"{WINDOW_BACKENDS}, got {window_backend!r}")
         self.latency_preference_ms = latency_preference_ms
         self.use_clustering = use_clustering
         self.lazy = lazy
@@ -90,7 +114,9 @@ class AdwisePartitioner(StreamingPartitioner):
         self.min_window = min_window
         self.max_window = max_window
         self.max_candidates = max_candidates
+        self.window_backend = window_backend
         self.controller = None  # populated per stream
+        self.window = None  # populated per stream
         self.scoring: Optional[AdwiseScoring] = None
         self._edge_scoring: Optional[AdwiseScoring] = None
 
@@ -126,14 +152,48 @@ class AdwisePartitioner(StreamingPartitioner):
             clock=self.clock,
         )
 
+    def _make_window(self, scoring: AdwiseScoring):
+        """Build the window backend for this stream (see ``window_backend``).
+
+        ``auto`` on a fast state is a hybrid: a fixed window of at least
+        :data:`ARRAY_WINDOW_MIN_SIZE` starts on the array window
+        directly; an adaptive (or small fixed) window starts on the
+        object window, and the main loop migrates to the array window —
+        state copied verbatim, so assignments stay bit-identical — once
+        the controller grows ``w`` past the threshold.
+        """
+        backend = self.window_backend
+        self._migrate_at: Optional[int] = None
+        if backend == "auto":
+            fast = getattr(self.state, "is_fast", False)
+            if not fast:
+                backend = "object"
+            elif (self.fixed_window is not None
+                    and self.fixed_window >= ARRAY_WINDOW_MIN_SIZE):
+                backend = "array"
+            else:
+                backend = "object"
+                if (self.fixed_window is None
+                        and self.max_window >= ARRAY_WINDOW_MIN_SIZE):
+                    self._migrate_at = ARRAY_WINDOW_MIN_SIZE
+        if backend == "array":
+            from repro.core.array_window import ArrayEdgeWindow
+
+            initial = self.fixed_window or self.min_window
+            return ArrayEdgeWindow(scoring, lazy=self.lazy,
+                                   epsilon=self.epsilon,
+                                   max_candidates=self.max_candidates,
+                                   initial_capacity=min(self.max_window,
+                                                        2 * initial))
+        return EdgeWindow(scoring, lazy=self.lazy, epsilon=self.epsilon,
+                          max_candidates=self.max_candidates)
+
     def partition_stream(self, stream: EdgeStream) -> PartitionResult:
         """Algorithm 1: window refill → best assignment → adapt."""
         start_ms = self.clock.now()
         total_edges = len(stream)
         self.scoring = self._make_scoring(total_edges)
-        window = EdgeWindow(self.scoring, lazy=self.lazy,
-                            epsilon=self.epsilon,
-                            max_candidates=self.max_candidates)
+        window = self.window = self._make_window(self.scoring)
         if self.fixed_window is not None:
             self.controller = FixedWindowController(self.fixed_window)
         else:
@@ -147,16 +207,23 @@ class AdwisePartitioner(StreamingPartitioner):
         assignments: Dict[Edge, int] = {}
         source = iter(stream)
         exhausted = False
+        observe = self.state.observe_degrees
         while True:
-            # Refill the window up to the current target size w.
-            while not exhausted and len(window) < self.controller.window_size:
-                try:
-                    edge = next(source).canonical()
-                except StopIteration:
-                    exhausted = True
-                    break
-                self.state.observe_degrees(edge)
-                window.add(edge)
+            # Refill the window up to the current target size w; the block
+            # is collected first so the array window can score it through
+            # one batched kernel call (degrees are observed inside
+            # add_block, edge by edge, preserving single-add semantics).
+            need = self.controller.window_size - len(window)
+            if not exhausted and need > 0:
+                block = []
+                while len(block) < need:
+                    try:
+                        block.append(next(source).canonical())
+                    except StopIteration:
+                        exhausted = True
+                        break
+                if block:
+                    window.add_block(block, observe=observe)
             if len(window) == 0:
                 if exhausted:
                     break
@@ -168,6 +235,17 @@ class AdwisePartitioner(StreamingPartitioner):
             self.scoring.after_assignment()
             window.on_replicas_changed(changed)
             self.controller.record(score, self.clock.now())
+            if (self._migrate_at is not None
+                    and self.controller.window_size >= self._migrate_at):
+                # Hybrid switch: the window grew into the regime where
+                # the batched array engine wins; adopt the object
+                # window's state verbatim (bit-identical continuation).
+                from repro.core.array_window import ArrayEdgeWindow
+
+                window = self.window = ArrayEdgeWindow.from_object_window(
+                    window, initial_capacity=min(
+                        self.max_window, 2 * self.controller.window_size))
+                self._migrate_at = None
         result = PartitionResult(
             algorithm=self.name,
             state=self.state,
@@ -177,6 +255,7 @@ class AdwisePartitioner(StreamingPartitioner):
         )
         result.extras["max_window"] = float(self.controller.max_window_reached)
         result.extras["final_window"] = float(self.controller.window_size)
+        result.extras["promotions"] = float(window.promotions)
         if self.scoring.balancer is not None:
             result.extras["final_lambda"] = self.scoring.balancer.value
         return result

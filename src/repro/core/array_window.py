@@ -1,0 +1,740 @@
+"""Array-native edge window: struct-of-arrays lazy traversal (fast path).
+
+:class:`ArrayEdgeWindow` is the batched twin of
+:class:`~repro.core.window.EdgeWindow`.  Window slots live in parallel
+preallocated arrays (endpoints, cached best score/partition, cache
+version, candidate and alive masks) managed through a free-list, with an
+incidence index from vertex → slots for the window-local neighborhoods.
+The three lazy-traversal rules become masked batch operations:
+
+* **refill** scores a whole block of incoming edges through one
+  :meth:`~repro.core.scoring.AdwiseScoring.score_batch` call,
+* **pop_best** refreshes all stale candidates as one batch and takes the
+  argmax over the candidate mask,
+* **rule 2** (empty candidate set) and **rule 3** (replica-set changes)
+  push all touched secondary slots through the kernels together.
+
+On top of the batching, per-slot **component memos** exploit that the
+score ``g(e, p) = λ·B(p) + R(e, p) + CS(e, p)`` restricts how much of a
+rescore actually changed: ``λ·B`` is shared (memoized on the scoring
+function), ``R`` moves only when an endpoint's replica row or degree
+moves, and ``CS`` only when the slot's window neighborhood or a
+neighbor's replica row moves.  Rescoring therefore recomputes ``R``/``CS``
+just for slots invalidated since the last pop — all invalidation is
+pushed: :meth:`on_replicas_changed` sweeps one hop for ``R`` and two hops
+for ``CS``, the add paths' degree observations sweep the endpoints'
+incident slots, and window membership changes sweep through
+:meth:`_touch_vertex` — and assembles everyone else's score with two
+broadcast adds over the cached ``(w, k)`` component matrices.
+
+The object window performs the same traversal one ``score_all`` call per
+edge; this class replays each of its scalar loops in the same ascending
+entry-id order, reproducing the reference's floating-point accumulation,
+tie-breaking, and clock charges exactly — assignments, latency, and
+score-computation counts are bit-identical (a memo only ever serves the
+exact array a fresh computation would produce; the simulated clock is
+still charged ``k`` per rescored slot, keeping the paper's cost model).
+Enforced by ``tests/test_array_window.py``.
+
+Two contracts are stricter than the object window's, both satisfied by
+Algorithm 1's main loop: every replica-set change affecting scored
+vertices must be reported via :meth:`on_replicas_changed` (the loop does
+this after every assignment; it matters also when ``lazy`` is off), and
+mid-stream degree observations must flow through the add paths' ``observe``
+hook — the push invalidation relies on both.
+
+Capacity management: slot arrays double on demand during refill and are
+compacted (slots renumbered, incidence rebuilt) when occupancy falls
+below a quarter of capacity after the adaptive controller shrinks the
+window — renumbering is safe because every ordering contract is defined
+on entry ids, never slot positions.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.core.scoring import AdwiseScoring
+from repro.graph.graph import Edge
+
+#: Smallest slot-array capacity; also the floor below which no
+#: compaction is attempted.
+_MIN_CAPACITY = 64
+
+
+class ArrayEdgeWindow:
+    """Fixed-capacity-free edge window over struct-of-arrays slots.
+
+    API-compatible with :class:`~repro.core.window.EdgeWindow` (same
+    constructor contract, same traversal methods, same counters), but
+    requires a fast (array-backed) partition state on ``scoring`` —
+    the batched kernels read replica rows and degrees wholesale.
+    """
+
+    def __init__(self, scoring: AdwiseScoring, lazy: bool = True,
+                 epsilon: float = 0.1, max_candidates: int = 64,
+                 initial_capacity: int = _MIN_CAPACITY) -> None:
+        if not 0.0 <= epsilon <= 1.0:
+            raise ValueError(f"epsilon must be in [0, 1], got {epsilon}")
+        if max_candidates < 1:
+            raise ValueError("max_candidates must be >= 1")
+        if not getattr(scoring.state, "is_fast", False):
+            raise ValueError(
+                "ArrayEdgeWindow requires an array-backed partition state "
+                "(FastPartitionState); use EdgeWindow on the legacy state")
+        self.scoring = scoring
+        self.lazy = lazy
+        self.epsilon = epsilon
+        self.max_candidates = max_candidates
+        state = scoring.state
+        k = state.num_partitions
+        capacity = max(_MIN_CAPACITY, int(initial_capacity))
+        self._capacity = capacity
+        self._score = np.zeros(capacity, dtype=np.float64)
+        self._partition = np.zeros(capacity, dtype=np.int64)
+        self._entry = np.full(capacity, -1, dtype=np.int64)
+        self._slot_version = np.full(capacity, -1, dtype=np.int64)
+        self._candidate = np.zeros(capacity, dtype=bool)
+        self._alive = np.zeros(capacity, dtype=bool)
+        self._edges: List[Optional[Edge]] = [None] * capacity
+        # LIFO free-list, seeded low-slots-first; compaction repacks live
+        # slots to the front when occupancy drops (ordering never depends
+        # on slot numbers, only entry ids).
+        self._free: List[int] = list(range(capacity - 1, -1, -1))
+        self._slot_of: Dict[int, int] = {}
+        self._incidence: Dict[int, Set[int]] = {}
+        # Component memos (see module docstring).  ``_rep``/``_cs`` hold
+        # the R and CS vectors per slot; the validity flags and keys are
+        # plain Python lists — they are read slot-by-slot on the hot path,
+        # where list indexing beats ndarray scalar access.
+        self._rep = np.zeros((capacity, k), dtype=np.float64)
+        self._cs = np.zeros((capacity, k), dtype=np.float64)
+        self._rep_valid: List[bool] = [False] * capacity
+        self._cs_valid: List[bool] = [False] * capacity
+        self._last_max_degree = state.max_degree
+        # Per-slot neighborhood memo.  A slot's window-local neighborhood
+        # only changes when a slot incident to one of its endpoints is
+        # added or removed; those mutations push-clear the memo (see
+        # :meth:`_touch_vertex`), so a non-``None`` entry is always live.
+        self._nbr_cache: List[Optional[List[int]]] = [None] * capacity
+        self._partition_ids = np.asarray(state.partitions, dtype=np.int64)
+        self._next_id = 0
+        self._count = 0
+        self._num_candidates = 0
+        self._score_sum = 0.0  # sum of cached best scores (for g_avg)
+        self._version = 0  # bumped after each pop (i.e. each assignment)
+        #: Secondary→candidate promotions performed by rules 2 and 3.
+        self.promotions = 0
+
+    # ------------------------------------------------------------------
+    # Introspection (EdgeWindow API)
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._count
+
+    @property
+    def candidate_count(self) -> int:
+        return self._num_candidates
+
+    @property
+    def secondary_count(self) -> int:
+        return self._count - self._num_candidates
+
+    def edges(self) -> List[Edge]:
+        """Window edges in insertion (entry-id) order."""
+        return [self._edges[int(s)] for s in self._sorted_slots()]
+
+    @property
+    def threshold(self) -> float:
+        """Current candidate threshold Θ = g_avg + ε."""
+        if self._count == 0:
+            return self.epsilon
+        return self._score_sum / self._count + self.epsilon
+
+    # ------------------------------------------------------------------
+    # Window-local neighborhood
+    # ------------------------------------------------------------------
+    def neighborhood(self, edge: Edge,
+                     exclude_entry: Optional[int] = None) -> Set[int]:
+        """``N(u) ∪ N(v)`` computed from window edges only (paper §III-C)."""
+        exclude_slot = (self._slot_of.get(exclude_entry)
+                        if exclude_entry is not None else None)
+        return self._slot_neighborhood(edge.u, edge.v, exclude_slot)
+
+    def _slot_neighborhood(self, u: int, v: int,
+                           exclude_slot: Optional[int]) -> Set[int]:
+        nbrs: Set[int] = set()
+        incidence = self._incidence
+        edges = self._edges
+        for endpoint in (u, v):
+            for slot in incidence.get(endpoint, ()):
+                if slot == exclude_slot:
+                    continue
+                other = edges[slot]
+                nbrs.add(other.v if other.u == endpoint else other.u)
+        nbrs.discard(u)
+        nbrs.discard(v)
+        return nbrs
+
+    def _nbr_list(self, slot: int) -> List[int]:
+        """Cached window-local neighborhood of ``slot`` (self excluded)."""
+        cached = self._nbr_cache[slot]
+        if cached is not None:
+            return cached
+        edge = self._edges[slot]
+        nbrs = list(self._slot_neighborhood(edge.u, edge.v, slot))
+        self._nbr_cache[slot] = nbrs
+        return nbrs
+
+    def _touch_vertex(self, vertex: int) -> None:
+        """Window membership at ``vertex`` changed: push-clear the
+        neighborhood and clustering memos of its incident slots."""
+        nbr_cache = self._nbr_cache
+        cs_valid = self._cs_valid
+        for slot in self._incidence.get(vertex, ()):
+            nbr_cache[slot] = None
+            cs_valid[slot] = False
+
+    def _degrees_moved(self, edge: Edge) -> None:
+        """Push-invalidate replication memos after ``edge`` was observed.
+
+        Observing an edge bumps its endpoints' degrees (shifting their Ψ),
+        and may raise the global max degree (shifting every Ψ).  Called by
+        the add paths right after the observe hook — the only place the
+        streaming protocol mutates the degree table mid-stream.
+        """
+        state = self.scoring.state
+        if state.max_degree != self._last_max_degree:
+            self._rep_valid = [False] * self._capacity
+            self._last_max_degree = state.max_degree
+            return
+        incidence = self._incidence
+        rep_valid = self._rep_valid
+        for endpoint in (edge.u, edge.v):
+            for slot in incidence.get(endpoint, ()):
+                rep_valid[slot] = False
+
+    # ------------------------------------------------------------------
+    # Slot management
+    # ------------------------------------------------------------------
+    def _alloc(self) -> int:
+        if not self._free:
+            self._resize(self._capacity * 2)
+        return self._free.pop()
+
+    def _resize(self, capacity: int) -> None:
+        """Grow the slot arrays to ``capacity`` (must exceed current)."""
+        old = self._capacity
+        k = self._rep.shape[1]
+
+        def grown(array, fill):
+            out = np.full(capacity, fill, dtype=array.dtype)
+            out[:old] = array
+            return out
+
+        def grown2(matrix):
+            out = np.zeros((capacity, k), dtype=matrix.dtype)
+            out[:old] = matrix
+            return out
+
+        self._score = grown(self._score, 0.0)
+        self._partition = grown(self._partition, 0)
+        self._entry = grown(self._entry, -1)
+        self._slot_version = grown(self._slot_version, -1)
+        self._candidate = grown(self._candidate, False)
+        self._alive = grown(self._alive, False)
+        self._rep = grown2(self._rep)
+        self._cs = grown2(self._cs)
+        extra = capacity - old
+        self._edges.extend([None] * extra)
+        self._rep_valid.extend([False] * extra)
+        self._cs_valid.extend([False] * extra)
+        self._nbr_cache.extend([None] * extra)
+        self._free.extend(range(capacity - 1, old - 1, -1))
+        self._capacity = capacity
+
+    def _compact(self) -> None:
+        """Repack live slots at the front and shrink the arrays.
+
+        Entry ids are preserved; only slot numbers change, which is
+        invisible to the traversal semantics (all ordering is by entry
+        id).  Runs after the adaptive controller shrinks the window far
+        below the grown capacity.  Component memos are carried over —
+        their validity keys do not involve slot numbers.
+        """
+        live = self._sorted_slots()
+        count = len(live)
+        capacity = _MIN_CAPACITY
+        while capacity < count * 2:
+            capacity *= 2
+        k = self._rep.shape[1]
+        score = np.zeros(capacity, dtype=np.float64)
+        partition = np.zeros(capacity, dtype=np.int64)
+        entry = np.full(capacity, -1, dtype=np.int64)
+        version = np.full(capacity, -1, dtype=np.int64)
+        candidate = np.zeros(capacity, dtype=bool)
+        alive = np.zeros(capacity, dtype=bool)
+        rep = np.zeros((capacity, k), dtype=np.float64)
+        cs = np.zeros((capacity, k), dtype=np.float64)
+        score[:count] = self._score[live]
+        partition[:count] = self._partition[live]
+        entry[:count] = self._entry[live]
+        version[:count] = self._slot_version[live]
+        candidate[:count] = self._candidate[live]
+        alive[:count] = True
+        rep[:count] = self._rep[live]
+        cs[:count] = self._cs[live]
+        live_list = live.tolist()
+        edges: List[Optional[Edge]] = [None] * capacity
+        rep_valid = [False] * capacity
+        cs_valid = [False] * capacity
+        nbr_cache: List[Optional[List[int]]] = [None] * capacity
+        for new_slot, old_slot in enumerate(live_list):
+            edges[new_slot] = self._edges[old_slot]
+            rep_valid[new_slot] = self._rep_valid[old_slot]
+            cs_valid[new_slot] = self._cs_valid[old_slot]
+            nbr_cache[new_slot] = self._nbr_cache[old_slot]
+        self._score, self._partition = score, partition
+        self._entry, self._slot_version = entry, version
+        self._candidate, self._alive = candidate, alive
+        self._rep, self._cs = rep, cs
+        self._edges = edges
+        self._rep_valid = rep_valid
+        self._cs_valid = cs_valid
+        self._nbr_cache = nbr_cache
+        self._capacity = capacity
+        self._free = list(range(capacity - 1, count - 1, -1))
+        self._slot_of = {int(entry[s]): s for s in range(count)}
+        incidence: Dict[int, Set[int]] = {}
+        for slot in range(count):
+            edge = edges[slot]
+            for endpoint in (edge.u, edge.v):
+                incidence.setdefault(endpoint, set()).add(slot)
+        self._incidence = incidence
+
+    def _sorted_slots(self, candidate: Optional[bool] = None) -> np.ndarray:
+        """Live slots in ascending entry-id order, optionally filtered."""
+        if candidate is True:
+            # The candidate mask is only ever set on live slots.
+            slots = np.flatnonzero(self._candidate)
+        elif candidate is False:
+            slots = np.flatnonzero(self._alive & ~self._candidate)
+        else:
+            slots = np.flatnonzero(self._alive)
+        if slots.size > 1:
+            slots = slots[np.argsort(self._entry[slots])]
+        return slots
+
+    # ------------------------------------------------------------------
+    # Batched rescoring over the component memos
+    # ------------------------------------------------------------------
+    def _rescore_slots(self, slots: np.ndarray) -> np.ndarray:
+        """Rescore ``slots`` (entry-id order); return the new best scores.
+
+        Recomputes only invalidated R/CS components (one batched kernel
+        call each), assembles all totals as broadcast matrix adds, and
+        updates the per-slot caches and the score sum in the given order
+        — the same sequence of scalar float additions the object window
+        performs.  Charges ``k`` score computations per slot, like the
+        object window's per-entry ``score_all`` calls.
+        """
+        scoring = self.scoring
+        state = scoring.state
+        if scoring.clock is not None:
+            scoring.clock.charge_score(len(slots) * state.num_partitions)
+        if state.max_degree != self._last_max_degree:
+            # Ψ is normalised by the global max degree: a new maximum
+            # shifts every replication component.
+            self._rep_valid = [False] * self._capacity
+            self._last_max_degree = state.max_degree
+        edges = self._edges
+        rep_valid = self._rep_valid
+        slot_list = slots.tolist()
+        dirty_rep: List[int] = []
+        rep_us: List[int] = []
+        rep_vs: List[int] = []
+        for slot in slot_list:
+            if not rep_valid[slot]:
+                edge = edges[slot]
+                dirty_rep.append(slot)
+                rep_us.append(edge.u)
+                rep_vs.append(edge.v)
+        if dirty_rep:
+            self._rep[dirty_rep] = scoring.replication_batch(rep_us, rep_vs)
+            for slot in dirty_rep:
+                rep_valid[slot] = True
+        if scoring.use_clustering:
+            cs_valid = self._cs_valid
+            dirty_cs: List[int] = []
+            cs_concat: List[int] = []
+            cs_counts: List[int] = []
+            for slot in slot_list:
+                if cs_valid[slot]:
+                    continue
+                nbrs = self._nbr_list(slot)
+                dirty_cs.append(slot)
+                cs_counts.append(len(nbrs))
+                cs_concat.extend(nbrs)
+            if dirty_cs:
+                self._cs[dirty_cs] = scoring.clustering_batch(
+                    cs_concat, np.asarray(cs_counts, dtype=np.int64))
+                for slot in dirty_cs:
+                    cs_valid[slot] = True
+            # total = (λ·B + R) + CS in the single-edge kernel's order;
+            # all-zero CS rows (empty neighborhoods) add exactly 0.0.
+            totals = scoring._lambda_balance() + self._rep[slots]
+            totals += self._cs[slots]
+        else:
+            totals = scoring._lambda_balance() + self._rep[slots]
+        best_columns = totals.argmax(axis=1)
+        best_scores = totals.max(axis=1)
+        old_scores = self._score[slots].tolist()
+        # The score sum is accumulated slot-by-slot in entry order — the
+        # same sequence of scalar additions the object window performs.
+        score_sum = self._score_sum
+        for i, new_score in enumerate(best_scores.tolist()):
+            score_sum += new_score - old_scores[i]
+        self._score_sum = score_sum
+        self._score[slots] = best_scores
+        self._partition[slots] = self._partition_ids[best_columns]
+        self._slot_version[slots] = self._version
+        return best_scores
+
+    # ------------------------------------------------------------------
+    # Migration (hybrid window engine)
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_object_window(cls, window, initial_capacity: int = _MIN_CAPACITY
+                           ) -> "ArrayEdgeWindow":
+        """Adopt an :class:`~repro.core.window.EdgeWindow`'s exact state.
+
+        The hybrid ``auto`` backend runs the object window while ``w`` is
+        small (slot arrays have no leverage there) and migrates here once
+        the adaptive controller grows past the batching threshold.  Every
+        piece of traversal state is copied verbatim — entry ids, cached
+        (score, partition, version) triples, candidate membership, the
+        float score sum with its accumulation history, the pop version,
+        and the promotion counter — so the migrated window continues
+        bit-identically; component memos start invalid and refill with
+        values a fresh computation would produce anyway.
+        """
+        new = cls(window.scoring, lazy=window.lazy, epsilon=window.epsilon,
+                  max_candidates=window.max_candidates,
+                  initial_capacity=max(initial_capacity, 2 * len(window)))
+        for entry_id in sorted(window._entries):
+            entry = window._entries[entry_id]
+            edge = entry.edge
+            slot = new._alloc()
+            new._edges[slot] = edge
+            new._entry[slot] = entry_id
+            new._score[slot] = entry.best_score
+            new._partition[slot] = entry.best_partition
+            new._slot_version[slot] = entry.version
+            new._candidate[slot] = entry.candidate
+            new._alive[slot] = True
+            new._slot_of[entry_id] = slot
+            for endpoint in (edge.u, edge.v):
+                new._incidence.setdefault(endpoint, set()).add(slot)
+            new._count += 1
+            if entry.candidate:
+                new._num_candidates += 1
+        new._next_id = window._next_id
+        new._score_sum = window._score_sum
+        new._version = window._version
+        new.promotions = window.promotions
+        return new
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def add(self, edge: Edge) -> int:
+        """Insert ``edge``; score it once and classify it; return entry id."""
+        return self.add_block([edge])[0]
+
+    def add_block(self, edges: Sequence[Edge],
+                  observe: Optional[Callable[[Edge], None]] = None
+                  ) -> List[int]:
+        """Rule 1 for a whole refill block in one kernel call.
+
+        Replays the object window's sequential semantics exactly: edge
+        ``i``'s Ψ normalisations are captured right after it is observed
+        (before later block edges touch the degree table), its
+        neighborhood sees only earlier entries, and classification walks
+        the block in order against the evolving threshold and candidate
+        cap.  Only the ``k``-partition scoring itself is batched.
+        """
+        n = len(edges)
+        if n == 0:
+            return []
+        if n == 1:
+            return [self._add_one(edges[0], observe)]
+        state = self.scoring.state
+        degree_of = state.degree_of
+        slot_list: List[int] = []
+        us: List[int] = []
+        vs: List[int] = []
+        psi_u = np.zeros(n, dtype=np.float64)
+        psi_v = np.zeros(n, dtype=np.float64)
+        nbr_concat: List[int] = []
+        count_list: List[int] = []
+        ids: List[int] = []
+        count_before = self._count
+        for i, edge in enumerate(edges):
+            if observe is not None:
+                observe(edge)
+            self._degrees_moved(edge)
+            denominator = 2.0 * max(1, state.max_degree)
+            psi_u[i] = degree_of(edge.u) / denominator
+            psi_v[i] = degree_of(edge.v) / denominator
+            nbrs = self._slot_neighborhood(edge.u, edge.v, None)
+            count_list.append(len(nbrs))
+            nbr_concat.extend(nbrs)
+            us.append(edge.u)
+            vs.append(edge.v)
+            slot = self._alloc()
+            slot_list.append(slot)
+            entry_id = self._next_id
+            self._next_id += 1
+            ids.append(entry_id)
+            self._edges[slot] = edge
+            self._entry[slot] = entry_id
+            self._slot_version[slot] = -1
+            self._candidate[slot] = False
+            self._alive[slot] = True
+            # Block scores are computed against mid-block snapshots (the
+            # captured Ψ, the partial incidence), so they are not valid
+            # component memos; the first rescore recomputes them.
+            self._rep_valid[slot] = False
+            self._cs_valid[slot] = False
+            self._slot_of[entry_id] = slot
+            for endpoint in (edge.u, edge.v):
+                self._touch_vertex(endpoint)
+                self._incidence.setdefault(endpoint, set()).add(slot)
+            self._count += 1
+        scores = self.scoring.score_batch(
+            us, vs, nbr_concat, np.asarray(count_list, dtype=np.int64),
+            psi_u=psi_u, psi_v=psi_v)
+        best_columns = scores.argmax(axis=1)
+        best_scores = scores.max(axis=1)
+        slots = np.asarray(slot_list, dtype=np.int64)
+        self._score[slots] = best_scores
+        self._partition[slots] = self._partition_ids[best_columns]
+        self._slot_version[slots] = self._version
+        score_list = best_scores.tolist()
+        lazy = self.lazy
+        epsilon = self.epsilon
+        for i in range(n):
+            slot = slot_list[i]
+            score = score_list[i]
+            self._score_sum += score
+            # Threshold as the object window saw it mid-block: entries
+            # i+1.. are not part of the average yet.
+            entries_so_far = count_before + i + 1
+            should_be_candidate = (
+                not lazy
+                or (score > self._score_sum / entries_so_far + epsilon
+                    and self._num_candidates < self.max_candidates))
+            if should_be_candidate:
+                self._candidate[slot] = True
+                self._num_candidates += 1
+        return ids
+
+    def _add_one(self, edge: Edge,
+                 observe: Optional[Callable[[Edge], None]]) -> int:
+        """Steady-state refill: one edge, components computed and memoized.
+
+        Mirrors :meth:`AdwiseScoring.score_all` operation-for-operation
+        (the Ψ capture is the live degree table when the block is one
+        edge) and seeds the slot's component memos with the freshly
+        computed R/CS vectors.
+        """
+        if observe is not None:
+            observe(edge)
+        scoring = self.scoring
+        state = scoring.state
+        self._degrees_moved(edge)
+        if scoring.clock is not None:
+            scoring.clock.charge_score(state.num_partitions)
+        row_u, row_v = state.replica_rows_pair(edge.u, edge.v)
+        rep = (row_u * (2.0 - scoring.psi(edge.u))
+               + row_v * (2.0 - scoring.psi(edge.v)))
+        total = scoring._lambda_balance() + rep
+        nbrs = self._slot_neighborhood(edge.u, edge.v, None)
+        use_clustering = scoring.use_clustering
+        cs = None
+        nbr_list = list(nbrs)
+        if use_clustering and nbr_list:
+            cs = state.replica_hits(nbr_list) / len(nbr_list)
+            total += cs
+        column = int(total.argmax())
+        score = float(total[column])
+        partition = state.partitions[column]
+        slot = self._alloc()
+        entry_id = self._next_id
+        self._next_id += 1
+        self._edges[slot] = edge
+        self._entry[slot] = entry_id
+        self._score[slot] = score
+        self._partition[slot] = partition
+        self._slot_version[slot] = self._version
+        self._candidate[slot] = False
+        self._alive[slot] = True
+        self._slot_of[entry_id] = slot
+        self._rep[slot] = rep
+        self._rep_valid[slot] = True
+        for endpoint in (edge.u, edge.v):
+            # Touch before inserting: the new slot's own memos (set below)
+            # must survive its own insertion.
+            self._touch_vertex(endpoint)
+            self._incidence.setdefault(endpoint, set()).add(slot)
+        if use_clustering:
+            if cs is not None:
+                self._cs[slot] = cs
+            else:
+                self._cs[slot] = 0.0
+            self._cs_valid[slot] = True
+        self._nbr_cache[slot] = nbr_list
+        self._count += 1
+        self._score_sum += score
+        if (not self.lazy
+                or (score > self._score_sum / self._count + self.epsilon
+                    and self._num_candidates < self.max_candidates)):
+            self._candidate[slot] = True
+            self._num_candidates += 1
+        return entry_id
+
+    def _remove_slot(self, slot: int) -> None:
+        self._score_sum -= float(self._score[slot])
+        if self._candidate[slot]:
+            self._candidate[slot] = False
+            self._num_candidates -= 1
+        self._alive[slot] = False
+        edge = self._edges[slot]
+        for endpoint in (edge.u, edge.v):
+            incident = self._incidence.get(endpoint)
+            if incident is not None:
+                incident.discard(slot)
+                if not incident:
+                    del self._incidence[endpoint]
+                else:
+                    self._touch_vertex(endpoint)
+        self._edges[slot] = None
+        self._nbr_cache[slot] = None
+        self._rep_valid[slot] = False
+        self._cs_valid[slot] = False
+        del self._slot_of[int(self._entry[slot])]
+        self._entry[slot] = -1
+        self._count -= 1
+        self._free.append(slot)
+        if (self._capacity > _MIN_CAPACITY
+                and self._count * 4 <= self._capacity):
+            self._compact()
+
+    def _rescore_secondary(self) -> None:
+        """Rule 2: candidate set empty → rescore Q, promote above-Θ edges."""
+        if self._count == self._num_candidates:
+            return
+        slots = self._sorted_slots(candidate=False)
+        scores = self._rescore_slots(slots)
+        threshold = self.threshold
+        above = slots[scores > threshold]
+        if above.size == 0:
+            # Fallback (uniform scores): promote the best few; ties break
+            # toward the oldest entry, like the object window's ranking.
+            order = np.lexsort((self._entry[slots], -scores))
+            above = slots[order[:max(1, len(slots) // 8)]]
+        for slot in above[:self.max_candidates].tolist():
+            self._candidate[slot] = True
+            self._num_candidates += 1
+            self.promotions += 1
+
+    def pop_best(self) -> Tuple[Edge, int, float]:
+        """Remove and return the best (edge, partition, score) assignment.
+
+        Stale candidate caches (an assignment happened since they were
+        computed) are refreshed through the batched component path; fresh
+        caches are reused — the lazy saving.  Ties break toward the
+        lowest entry id, matching the object window's ordered scan.
+        """
+        if self._count == 0:
+            raise IndexError("pop_best from an empty window")
+        if self._num_candidates == 0:
+            self._rescore_secondary()
+        slots = self._sorted_slots(candidate=True)
+        if slots.size == 0:  # pragma: no cover - guarded by the invariant
+            raise RuntimeError("window invariant violated: no candidates "
+                               "after rule-2 rescoring of a non-empty window")
+        stale = slots[self._slot_version[slots] != self._version]
+        if stale.size:
+            self._rescore_slots(stale)
+        scores = self._score[slots]
+        best = int(scores.argmax())
+        best_slot = int(slots[best])
+        best_score = float(scores[best])
+        best_partition = int(self._partition[best_slot])
+        edge = self._edges[best_slot]
+        self._remove_slot(best_slot)
+        # The caller assigns this edge next, which shifts balance scores;
+        # all remaining caches become stale.
+        self._version += 1
+        return edge, best_partition, best_score
+
+    def on_replicas_changed(self, vertices: Iterable[int]) -> int:
+        """Rule 3: reassess secondary edges touching changed replica sets.
+
+        Also drives the component-memo push invalidation: replication
+        memos of slots incident to a changed vertex (one hop) and
+        clustering memos of slots that can see it as a window neighbor
+        (two hops) are dropped.  Returns the number of secondary edges
+        promoted to the candidate set.
+        """
+        touched: Set[int] = set()
+        incidence = self._incidence
+        edges = self._edges
+        rep_valid = self._rep_valid
+        cs_valid = self._cs_valid
+        use_clustering = self.scoring.use_clustering
+        for vertex in vertices:
+            incident = incidence.get(vertex)
+            if not incident:
+                continue
+            touched.update(incident)
+            for slot in incident:
+                rep_valid[slot] = False
+            if use_clustering:
+                # Two hops: slots that can see ``vertex`` as a window
+                # neighbor share an endpoint with one of its edges.  The
+                # endpoints are deduplicated first — hubs appear in most
+                # incident edges and would be swept repeatedly otherwise.
+                endpoints: Set[int] = set()
+                for slot in incident:
+                    edge = edges[slot]
+                    endpoints.add(edge.u)
+                    endpoints.add(edge.v)
+                for endpoint in endpoints:
+                    for two_hop in incidence.get(endpoint, ()):
+                        cs_valid[two_hop] = False
+        if not self.lazy:
+            return 0
+        if not touched:
+            return 0
+        slots = np.fromiter(touched, dtype=np.int64, count=len(touched))
+        secondary = self._alive[slots] & ~self._candidate[slots]
+        slots = slots[secondary]
+        if slots.size == 0:
+            return 0
+        if slots.size > 1:
+            slots = slots[np.argsort(self._entry[slots])]
+        threshold = self.threshold  # snapshot, like the object window
+        scores = self._rescore_slots(slots)
+        promoted = 0
+        for i, slot in enumerate(slots.tolist()):
+            if (scores[i] > threshold
+                    and self._num_candidates < self.max_candidates):
+                self._candidate[slot] = True
+                self._num_candidates += 1
+                promoted += 1
+                self.promotions += 1
+        return promoted

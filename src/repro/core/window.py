@@ -17,13 +17,18 @@ the window into a *candidate set* ``C`` of high-score edges and a
 window edges, so only better-than-average edges count as candidates.
 
 Window entries carry a unique sequence id so duplicate edges in the input
-stream are retained as distinct window items.
+stream are retained as distinct window items.  All traversal loops visit
+entries in ascending entry-id order (stream order), so score ties break
+toward the oldest edge and the floating-point accumulation of the score
+sum is a deterministic function of the stream — the contract the
+array-native window (:mod:`repro.core.array_window`) replicates
+batch-for-batch to stay bit-identical with this reference implementation.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.graph.graph import Edge
 from repro.core.scoring import AdwiseScoring
@@ -83,6 +88,8 @@ class EdgeWindow:
         self._next_id = 0
         self._score_sum = 0.0  # sum of cached best scores (for g_avg)
         self._version = 0  # bumped after each pop (i.e. each assignment)
+        #: Secondary→candidate promotions performed by rules 2 and 3.
+        self.promotions = 0
 
     # ------------------------------------------------------------------
     # Introspection
@@ -182,6 +189,24 @@ class EdgeWindow:
         self._classify(entry)
         return entry_id
 
+    def add_block(self, edges: Sequence[Edge],
+                  observe: Optional[Callable[[Edge], None]] = None
+                  ) -> List[int]:
+        """Insert a refill block; equivalent to sequential :meth:`add` calls.
+
+        ``observe`` (typically ``state.observe_degrees``) is invoked on each
+        edge immediately before it is scored, preserving the single-edge
+        refill semantics: edge ``i`` is scored with the degree table and
+        window incidence as they stood after edges ``1..i`` entered.  The
+        array window overrides this with one batched kernel call per block.
+        """
+        ids = []
+        for edge in edges:
+            if observe is not None:
+                observe(edge)
+            ids.append(self.add(edge))
+        return ids
+
     def _remove(self, entry_id: int) -> _WindowEntry:
         entry = self._entries.pop(entry_id)
         self._score_sum -= entry.best_score
@@ -196,29 +221,38 @@ class EdgeWindow:
         return entry
 
     def _rescore_secondary(self) -> None:
-        """Rule 2: candidate set empty → rescore Q, promote above-Θ edges."""
+        """Rule 2: candidate set empty → rescore Q, promote above-Θ edges.
+
+        Entries are rescored and promoted in ascending entry-id order, so
+        both the score-sum accumulation and the promotion choice under the
+        candidate cap are deterministic stream functions (and replicable
+        by the batched array window).
+        """
         if not self._secondary:
             return
-        for entry_id in list(self._secondary):
+        ordered = sorted(self._secondary)
+        for entry_id in ordered:
             entry = self._entries[entry_id]
             score, partition = self._best_assignment(
                 entry.edge, exclude_entry=entry_id)
             self._set_cached(entry, score, partition)
         threshold = self.threshold
-        above = [entry_id for entry_id in self._secondary
+        above = [entry_id for entry_id in ordered
                  if self._entries[entry_id].best_score > threshold]
         if not above:
             # Fallback (scores are uniform, e.g. a cold vertex cache):
             # promote the best few so progress is made without rescoring
             # the whole secondary set on every subsequent assignment.
-            ranked = sorted(self._secondary,
-                            key=lambda eid: self._entries[eid].best_score,
-                            reverse=True)
+            # Ties break toward the oldest entry.
+            ranked = sorted(
+                ordered,
+                key=lambda eid: (-self._entries[eid].best_score, eid))
             above = ranked[:max(1, len(ranked) // 8)]
         for entry_id in above[:self.max_candidates]:
             self._secondary.discard(entry_id)
             self._candidates.add(entry_id)
             self._entries[entry_id].candidate = True
+            self.promotions += 1
 
     def pop_best(self) -> Tuple[Edge, int, float]:
         """Remove and return the best (edge, partition, score) assignment.
@@ -230,10 +264,15 @@ class EdgeWindow:
             raise IndexError("pop_best from an empty window")
         if not self._candidates:
             self._rescore_secondary()
+        # Every entry lives in C or Q, and rule 2 promotes at least one
+        # entry from a non-empty Q, so C is non-empty here.  The best is
+        # therefore initialised from the first candidate instead of a
+        # (-inf, partitions[0]) sentinel — a degenerate window can no
+        # longer silently mis-assign to the first spread partition.
         best_id = None
-        best_score = float("-inf")
-        best_partition = self.scoring.state.partitions[0]
-        for entry_id in self._candidates:
+        best_score = 0.0
+        best_partition = 0
+        for entry_id in sorted(self._candidates):
             entry = self._entries[entry_id]
             if entry.version == self._version:
                 # Cache is exact: no assignment happened since it was
@@ -243,10 +282,13 @@ class EdgeWindow:
                 score, partition = self._best_assignment(
                     entry.edge, exclude_entry=entry_id)
                 self._set_cached(entry, score, partition)
-            if score > best_score:
+            if best_id is None or score > best_score:
                 best_score = score
                 best_id = entry_id
                 best_partition = partition
+        if best_id is None:  # pragma: no cover - guarded by the invariant
+            raise RuntimeError("window invariant violated: no candidates "
+                               "after rule-2 rescoring of a non-empty window")
         entry = self._remove(best_id)
         # The caller assigns this edge next, which shifts balance scores;
         # all remaining caches become stale.
@@ -265,7 +307,7 @@ class EdgeWindow:
             touched.update(self._incidence.get(vertex, ()))
         promoted = 0
         threshold = self.threshold
-        for entry_id in touched:
+        for entry_id in sorted(touched):
             if entry_id not in self._secondary:
                 continue
             entry = self._entries[entry_id]
@@ -278,4 +320,5 @@ class EdgeWindow:
                 self._candidates.add(entry_id)
                 entry.candidate = True
                 promoted += 1
+                self.promotions += 1
         return promoted

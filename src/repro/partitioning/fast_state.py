@@ -229,6 +229,62 @@ class FastPartitionState:
         idx = self._vindex.get(vertex)
         return self._replica_bits[idx] if idx is not None else 0
 
+    def replica_bits_pair(self, u: int, v: int) -> Tuple[int, int]:
+        """Replica bitmasks of both endpoints in one call (greedy fast path)."""
+        vindex = self._vindex
+        bits = self._replica_bits
+        iu = vindex.get(u)
+        iv = vindex.get(v)
+        return (bits[iu] if iu is not None else 0,
+                bits[iv] if iv is not None else 0)
+
+    def replica_rows_pair(self, u: int, v: int
+                          ) -> Tuple[np.ndarray, np.ndarray]:
+        """Indicator rows of both endpoints with a single matrix sync.
+
+        The single-edge kernels (HDRF/ADWISE ``score_all``) read exactly
+        two rows per edge; fetching them together halves the pending-queue
+        checks on the hot path.  Rows are read-only views (the shared
+        zero row for unseen vertices).
+        """
+        if self._pending_replicas:
+            self._sync_replicas()
+        vindex = self._vindex
+        iu = vindex.get(u)
+        iv = vindex.get(v)
+        replicas = self._replicas
+        return (replicas[iu] if iu is not None else self._zero_row,
+                replicas[iv] if iv is not None else self._zero_row)
+
+    def replica_rows(self, vertices: Sequence[int]) -> np.ndarray:
+        """Indicator rows for a batch of vertex ids as one ``(N, k)`` matrix.
+
+        The row for an unseen vertex is all-zero, mirroring
+        :meth:`replica_vector`.  The result is a fresh matrix (safe to
+        mutate); the batched window kernel consumes whole slot batches
+        through this accessor instead of ``N`` scalar row reads.
+        """
+        if self._pending_replicas:
+            self._sync_replicas()
+        get = self._vindex.get
+        if isinstance(vertices, np.ndarray):
+            vertices = vertices.tolist()
+        idx = [get(v, -1) for v in vertices]
+        if not idx:
+            return np.zeros((0, len(self._partitions)), dtype=bool)
+        out = self._replicas[idx]
+        if -1 in idx:
+            out[np.asarray(idx, dtype=np.int64) < 0] = False
+        return out
+
+    def degrees_array(self, vertices: Sequence[int]) -> np.ndarray:
+        """Observed degrees for a batch of vertex ids (``0`` if unseen)."""
+        get = self.degree.get
+        if isinstance(vertices, np.ndarray):
+            vertices = vertices.tolist()
+        return np.fromiter((get(v, 0) for v in vertices),
+                           dtype=np.int64, count=len(vertices))
+
     def replica_hits(self, vertices: Iterable[int]) -> np.ndarray:
         """Per-partition count of ``vertices`` replicated there.
 

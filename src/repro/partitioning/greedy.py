@@ -58,8 +58,7 @@ class GreedyPartitioner(StreamingPartitioner):
     def _select_fast(self, edge: Edge) -> int:
         """Case rules over replica bitmasks instead of set algebra."""
         state = self.state
-        bits_u = state.replica_bits(edge.u)
-        bits_v = state.replica_bits(edge.v)
+        bits_u, bits_v = state.replica_bits_pair(edge.u, edge.v)
         shared = bits_u & bits_v
         if shared:
             return self._least_loaded_bits(shared)

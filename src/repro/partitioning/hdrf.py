@@ -78,9 +78,9 @@ class HDRFPartitioner(StreamingPartitioner):
         total = deg_u + deg_v
         theta_u = deg_u / total if total > 0 else 0.5
         theta_v = 1.0 - theta_u
-        replication = (
-            state.replica_vector(edge.u) * (1.0 + (1.0 - theta_u))
-            + state.replica_vector(edge.v) * (1.0 + (1.0 - theta_v)))
+        row_u, row_v = state.replica_rows_pair(edge.u, edge.v)
+        replication = (row_u * (1.0 + (1.0 - theta_u))
+                       + row_v * (1.0 + (1.0 - theta_v)))
         max_size = state.max_size
         balance = (max_size - state.sizes_vector()) / (
             _EPSILON + max_size - state.min_size)

@@ -1,0 +1,116 @@
+"""cProfile any partitioner over a synthetic workload: top-N hot spots.
+
+The perf work on the window engine (DESIGN.md §9) lives or dies by where
+the per-edge time actually goes, so this tool makes the check a one-liner
+instead of an ad-hoc script: build a workload, run one partitioner under
+cProfile, print the top functions by cumulative and internal time.
+
+Usage::
+
+    PYTHONPATH=src python tools/profile_partition.py \
+        --algorithm adwise --fast --window 64 --top 15
+    PYTHONPATH=src python tools/profile_partition.py \
+        --algorithm adwise --fast --window-backend object   # PR 1-style path
+    PYTHONPATH=src python tools/profile_partition.py \
+        --algorithm hdrf --n 2000 --m 8 --partitions 16
+
+Used to verify that an optimisation actually moved the hot path (e.g.
+that ``score_batch``/``_rescore_slots`` replaced per-edge ``score_all``
+calls at the top of the ADWISE profile) rather than just the benchmark
+number.
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import io
+import pstats
+import sys
+import os
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), os.pardir, "src"))
+
+from repro.core.adwise import AdwisePartitioner          # noqa: E402
+from repro.graph.generators import barabasi_albert_graph  # noqa: E402
+from repro.graph.stream import InMemoryEdgeStream, shuffled  # noqa: E402
+from repro.partitioning.dbh import DBHPartitioner         # noqa: E402
+from repro.partitioning.greedy import GreedyPartitioner   # noqa: E402
+from repro.partitioning.hashing import HashPartitioner    # noqa: E402
+from repro.partitioning.hdrf import HDRFPartitioner       # noqa: E402
+
+
+def build_partitioner(args):
+    partitions = range(args.partitions)
+    if args.algorithm == "adwise":
+        return AdwisePartitioner(
+            partitions, fast=args.fast, fixed_window=args.window,
+            latency_preference_ms=(None if args.window else
+                                   args.latency_preference),
+            window_backend=args.window_backend)
+    simple = {
+        "hdrf": HDRFPartitioner,
+        "greedy": GreedyPartitioner,
+        "dbh": DBHPartitioner,
+        "hash": HashPartitioner,
+    }
+    return simple[args.algorithm](partitions, fast=args.fast)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--algorithm", default="adwise",
+                        choices=["adwise", "hdrf", "greedy", "dbh", "hash"])
+    parser.add_argument("--fast", action="store_true",
+                        help="array-backed state + batched kernels")
+    parser.add_argument("--window-backend", default="auto",
+                        choices=["auto", "array", "object"],
+                        help="ADWISE window engine (default: auto)")
+    parser.add_argument("--window", type=int, default=64,
+                        help="fixed ADWISE window size (0 = adaptive)")
+    parser.add_argument("--latency-preference", type=float, default=10.0,
+                        help="ADWISE latency preference when adaptive")
+    parser.add_argument("--partitions", type=int, default=32)
+    parser.add_argument("--n", type=int, default=800,
+                        help="power-law graph vertices")
+    parser.add_argument("--m", type=int, default=10,
+                        help="power-law attachment degree")
+    parser.add_argument("--seed", type=int, default=3)
+    parser.add_argument("--top", type=int, default=20,
+                        help="rows per profile table")
+    parser.add_argument("--sort", default="tottime",
+                        choices=["tottime", "cumulative"],
+                        help="primary sort of the profile table")
+    args = parser.parse_args(argv)
+    if args.window == 0:
+        args.window = None
+
+    graph = barabasi_albert_graph(n=args.n, m=args.m, seed=args.seed)
+    edges = list(shuffled(graph.edges(), seed=args.seed + 2))
+    partitioner = build_partitioner(args)
+    stream = InMemoryEdgeStream(edges)
+
+    profiler = cProfile.Profile()
+    wall = time.perf_counter()
+    profiler.enable()
+    result = partitioner.partition_stream(stream)
+    profiler.disable()
+    wall = time.perf_counter() - wall
+
+    print(f"{partitioner.name} over {len(edges)} power-law edges "
+          f"(n={args.n}, m={args.m}, k={args.partitions}, "
+          f"fast={args.fast}, backend={args.window_backend}): "
+          f"{wall:.2f}s wall, {len(edges) / wall:,.0f} edges/s")
+    print(f"replication_degree={result.replication_degree:.3f} "
+          f"imbalance={result.imbalance:.4f} "
+          f"score_computations={result.score_computations}")
+    out = io.StringIO()
+    stats = pstats.Stats(profiler, stream=out)
+    stats.sort_stats(args.sort).print_stats(args.top)
+    print(out.getvalue())
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
