@@ -14,6 +14,7 @@ from repro import (
     HashPartitioner,
     HDRFPartitioner,
     barabasi_albert_graph,
+    open_session,
     shuffled,
 )
 
@@ -53,12 +54,24 @@ def main() -> None:
         print(f"{label:<22} {result.replication_degree:>11.3f} "
               f"{result.imbalance:>9.3f} {result.latency_ms:>8.1f}ms")
 
-    # 4. Inspect one assignment.
-    adwise = AdwisePartitioner(range(NUM_PARTITIONS),
-                               latency_preference_ms=500.0)
-    result = adwise.partition_stream(stream())
+    # 4. The same run through the session facade — the incremental API
+    #    the service daemon speaks.  Edges arrive in batches, and the
+    #    session can be queried while the stream is still open.
+    session = open_session(algorithm="adwise", partitions=NUM_PARTITIONS,
+                           expected_edges=graph.num_edges,
+                           latency_preference_ms=500.0)
+    edges = list(stream())
+    for start in range(0, len(edges), 256):
+        session.ingest(edges[start:start + 256])
+    mid_stats = session.stats()
+    print(f"\nlive session: {mid_stats.edges_ingested} edges ingested, "
+          f"{mid_stats.buffered_edges} still windowed, "
+          f"window size {mid_stats.window_size}")
+    result = session.finalize()
+
+    # 5. Inspect one assignment.
     some_edge = next(iter(result.assignments))
-    print(f"\nedge {tuple(some_edge)} -> partition "
+    print(f"edge {tuple(some_edge)} -> partition "
           f"{result.partition_of(some_edge)}")
     print(f"replica set of vertex {some_edge.u}: "
           f"{sorted(result.state.replicas(some_edge.u))}")

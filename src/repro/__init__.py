@@ -10,13 +10,25 @@ latency trade-off experiments.
 
 Quickstart::
 
+    from repro import open_session
+
+    session = open_session(algorithm="adwise", partitions=8,
+                           latency_preference_ms=50.0)
+    session.ingest([(0, 1), (1, 2), (0, 2)])
+    result = session.finalize()
+    print(result.replication_degree, result.imbalance)
+
+or, batch-style with explicit objects::
+
     from repro import AdwisePartitioner, shuffled, barabasi_albert_graph
 
     graph = barabasi_albert_graph(n=1000, m=5, seed=1)
     stream = shuffled(graph.edges(), seed=2)
     partitioner = AdwisePartitioner(range(8), latency_preference_ms=50.0)
     result = partitioner.partition_stream(stream)
-    print(result.replication_degree, result.imbalance)
+
+For a long-lived multi-tenant daemon speaking this API over TCP, see
+``repro.service`` and the ``serve`` CLI subcommand.
 """
 
 from repro.graph import (
@@ -83,8 +95,17 @@ from repro.cluster import (
     ShardedGraph,
 )
 from repro.simtime import SimulatedClock, WallClock
+from repro.api import (
+    PartitionSession,
+    SessionError,
+    SessionSnapshot,
+    SessionStats,
+    open_session,
+    restore_session,
+)
+from repro.partitioning.base import Assignment
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Edge",
@@ -142,5 +163,12 @@ __all__ = [
     "ShardedGraph",
     "SimulatedClock",
     "WallClock",
+    "Assignment",
+    "PartitionSession",
+    "SessionError",
+    "SessionSnapshot",
+    "SessionStats",
+    "open_session",
+    "restore_session",
     "__version__",
 ]

@@ -107,6 +107,42 @@ def build_parser() -> argparse.ArgumentParser:
                                "stages (default <input>.parts; a .gz "
                                "suffix compresses transparently)")
     _add_processing_arguments(pipeline)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the multi-tenant partitioning daemon "
+             "(ndjson over TCP; see repro.service)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=7733,
+                       help="TCP port (0 = pick a free port and print it)")
+    serve.add_argument("--max-tenants", type=int, default=64,
+                       help="maximum concurrently open sessions")
+    serve.add_argument("--queue-depth", type=int, default=16,
+                       help="per-tenant ingest queue bound (backpressure)")
+    serve.add_argument("--snapshot-dir", default=None,
+                       help="directory for graceful-shutdown snapshots; "
+                            "restored on the next start")
+
+    client = sub.add_parser(
+        "client",
+        help="stream an edge-list file into a running daemon "
+             "and print the tenant's stats")
+    client.add_argument("path", help="edge-list file (u v per line)")
+    client.add_argument("--host", default="127.0.0.1")
+    client.add_argument("--port", type=int, default=7733)
+    client.add_argument("--tenant", default="cli",
+                        help="tenant name to open (must not exist yet)")
+    client.add_argument("--algorithm", choices=sorted(_ALGORITHMS),
+                        default="adwise")
+    client.add_argument("--partitions", type=int, default=32,
+                        help="number of partitions k")
+    client.add_argument("--latency-preference", type=float, default=None,
+                        help="ADWISE latency preference L in ms")
+    client.add_argument("--batch-size", type=int, default=512,
+                        help="edges per ingest request")
+    client.add_argument("--keep-open", action="store_true",
+                        help="leave the tenant open (skip finalize) so "
+                             "later invocations or queries can continue it")
     return parser
 
 
@@ -407,6 +443,81 @@ def _run_pipeline(args: argparse.Namespace) -> int:
     return _execute_processing(graph, assignments, partitions, args)
 
 
+def _run_serve(args: argparse.Namespace) -> int:
+    from repro.service.server import run_service
+
+    if args.max_tenants < 1 or args.queue_depth < 1:
+        print("error: --max-tenants and --queue-depth must be >= 1",
+              file=sys.stderr)
+        return 2
+
+    def announce(service) -> None:
+        print(f"listening on {service.host}:{service.port} "
+              f"(max {service.max_tenants} tenants, queue depth "
+              f"{service.queue_depth})", flush=True)
+
+    try:
+        run_service(host=args.host, port=args.port,
+                    max_tenants=args.max_tenants,
+                    queue_depth=args.queue_depth,
+                    snapshot_dir=args.snapshot_dir,
+                    ready_callback=announce)
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        pass
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
+def _run_client(args: argparse.Namespace) -> int:
+    from repro.graph.stream import iter_edge_file
+    from repro.service.client import ServiceClient, ServiceError
+
+    if args.batch_size < 1:
+        print("error: --batch-size must be >= 1", file=sys.stderr)
+        return 2
+    knobs: dict = {}
+    if args.algorithm == "adwise" and args.latency_preference is not None:
+        knobs["latency_preference_ms"] = args.latency_preference
+    try:
+        with ServiceClient(host=args.host, port=args.port) as client:
+            client.open(args.tenant, algorithm=args.algorithm,
+                        partitions=args.partitions, **knobs)
+            batch: list = []
+            pending: list = []
+            for edge in iter_edge_file(args.path):
+                batch.append((edge.u, edge.v))
+                if len(batch) >= args.batch_size:
+                    pending.append(client.ingest_async(args.tenant, batch))
+                    batch = []
+            if batch:
+                pending.append(client.ingest_async(args.tenant, batch))
+            client.drain(pending)
+            stats = client.stats(args.tenant)
+            session = stats["session"]
+            metrics = stats["metrics"]
+            print(f"tenant:             {args.tenant}")
+            print(f"algorithm:          {session['algorithm']}")
+            print(f"edges ingested:     {session['edges_ingested']}")
+            print(f"replication degree: "
+                  f"{session['replication_degree']:.4f}")
+            print(f"imbalance:          {session['imbalance']:.4f}")
+            print(f"throughput:         "
+                  f"{metrics['edges_per_second']:.0f} edges/s "
+                  f"(p99 batch {metrics['p99_ingest_ms']:.2f} ms)")
+            if not args.keep_open:
+                result = client.finalize(args.tenant)
+                print(f"finalized:          "
+                      f"{len(result['assignments'])} assignments, "
+                      f"replication "
+                      f"{result['replication_degree']:.4f}")
+    except (ServiceError, ConnectionError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "partition":
@@ -417,6 +528,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _run_process(args)
     if args.command == "pipeline":
         return _run_pipeline(args)
+    if args.command == "serve":
+        return _run_serve(args)
+    if args.command == "client":
+        return _run_client(args)
     return 2  # pragma: no cover - argparse enforces the choices
 
 

@@ -163,6 +163,32 @@ class AdaptiveWindowController:
         return decision
 
     # ------------------------------------------------------------------
+    # Serialization (session snapshot boundary)
+    # ------------------------------------------------------------------
+    def to_state(self) -> dict:
+        """Picklable image of the adaptation state (without the event
+        trace) — enough to continue grow/keep/shrink bit-identically."""
+        return {
+            "window_size": self.window_size,
+            "peak_window": self._peak_window,
+            "block_assignments": self._block_assignments,
+            "block_score_sum": self._block_score_sum,
+            "block_start_ms": self._block_start_ms,
+            "prev_block_avg": self._prev_block_avg,
+            "total_assignments": self._total_assignments,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Inverse of :meth:`to_state`; the event trace restarts empty."""
+        self.window_size = state["window_size"]
+        self._peak_window = state["peak_window"]
+        self._block_assignments = state["block_assignments"]
+        self._block_score_sum = state["block_score_sum"]
+        self._block_start_ms = state["block_start_ms"]
+        self._prev_block_avg = state["prev_block_avg"]
+        self._total_assignments = state["total_assignments"]
+
+    # ------------------------------------------------------------------
     # Reporting
     # ------------------------------------------------------------------
     @property

@@ -14,11 +14,21 @@ Wires together the four mechanisms:
 Main loop (Algorithm 1): refill the window to ``w`` edges from the stream,
 pop the best (edge, partition) pair, assign it, adapt λ and (every ``w``
 assignments) the window size.
+
+The loop is driven incrementally: :meth:`AdwisePartitioner.ingest`
+buffers arriving edges and advances Algorithm 1 exactly as far as a
+batch run with the same prefix could have — the window refills to the
+controller's target ``w`` and edges are popped only while it is full
+(more stream may still arrive), with :meth:`AdwisePartitioner.finalize`
+supplying the end-of-stream drain.  Any chunking of a stream through
+``ingest`` is therefore bit-identical to :meth:`partition_stream` on the
+whole stream (both windows' ``add_block`` is equivalent to sequential
+adds, so refill-block boundaries don't matter).
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence
+from typing import Iterable, List, Optional, Sequence
 
 from repro.graph.graph import Edge
 from repro.graph.stream import EdgeStream
@@ -28,7 +38,11 @@ from repro.core.adaptive import (
 )
 from repro.core.scoring import AdaptiveBalancer, AdwiseScoring
 from repro.core.window import EdgeWindow
-from repro.partitioning.base import PartitionResult, StreamingPartitioner
+from repro.partitioning.base import (
+    Assignment,
+    PartitionResult,
+    StreamingPartitioner,
+)
 from repro.partitioning.state import PartitionState
 from repro.simtime import Clock
 
@@ -119,6 +133,7 @@ class AdwisePartitioner(StreamingPartitioner):
         self.window = None  # populated per stream
         self.scoring: Optional[AdwiseScoring] = None
         self._edge_scoring: Optional[AdwiseScoring] = None
+        self._pending: List[Edge] = []
 
     # ------------------------------------------------------------------
     # StreamingPartitioner contract
@@ -188,55 +203,104 @@ class AdwisePartitioner(StreamingPartitioner):
         return EdgeWindow(scoring, lazy=self.lazy, epsilon=self.epsilon,
                           max_candidates=self.max_candidates)
 
-    def partition_stream(self, stream: EdgeStream) -> PartitionResult:
-        """Algorithm 1: window refill → best assignment → adapt."""
-        start_ms = self.clock.now()
-        total_edges = len(stream)
+    # ------------------------------------------------------------------
+    # Incremental ingestion protocol (Algorithm 1, resumable)
+    # ------------------------------------------------------------------
+    def begin(self, total_edges: int = 0) -> None:
+        """Open a stream: build scoring, window and controller.
+
+        ``total_edges = 0`` (unknown length — live sessions) disables the
+        controller's end-of-stream special case and makes condition C2
+        vacuous once no remaining-edge estimate exists; batch runs pass
+        the stream length and reproduce the paper's budgeting exactly.
+        """
+        super().begin(total_edges)
         self.scoring = self._make_scoring(total_edges)
-        window = self.window = self._make_window(self.scoring)
+        self.window = self._make_window(self.scoring)
         if self.fixed_window is not None:
             self.controller = FixedWindowController(self.fixed_window)
         else:
             self.controller = AdaptiveWindowController(
                 self.latency_preference_ms,
                 total_edges=total_edges,
-                start_ms=start_ms,
+                start_ms=self._start_ms,
                 min_window=self.min_window,
                 max_window=self.max_window,
             )
-        assignments: Dict[Edge, int] = {}
-        source = iter(stream)
-        exhausted = False
-        observe = self.state.observe_degrees
+        self._pending = []
+
+    def ingest(self, edges: Iterable[Edge]) -> List[Assignment]:
+        """Buffer arriving edges and advance Algorithm 1 as far as the
+        buffered prefix allows; return the assignments popped.
+
+        Edges the window cannot yet admit (the refill target is the
+        controller's current ``w``) stay in the pending buffer, and the
+        window never pops while under-filled — a batch run would have
+        refilled it from the rest of the stream first.
+        """
+        if not self._streaming:
+            self.begin()
+        pending = self._pending
+        for edge in edges:
+            pending.append(edge.canonical())
+        return self._pump(force=False)
+
+    def finalize(self) -> PartitionResult:
+        """End of stream: drain the pending buffer and the window."""
+        if not self._streaming:
+            self.begin()
+        self._pump(force=True)
+        result = super().finalize()
+        result.extras["max_window"] = float(self.controller.max_window_reached)
+        result.extras["final_window"] = float(self.controller.window_size)
+        result.extras["promotions"] = float(self.window.promotions)
+        if self.scoring.balancer is not None:
+            result.extras["final_lambda"] = self.scoring.balancer.value
+        return result
+
+    def _pump(self, force: bool) -> List[Assignment]:
+        """Refill → pop → adapt until input runs out (Algorithm 1).
+
+        With ``force`` the pending buffer is the whole rest of the stream
+        (finalize / end of batch): the window drains even under-filled,
+        exactly the exhausted-stream behaviour of a batch run.
+        """
+        out: List[Assignment] = []
+        window = self.window
+        pending = self._pending
+        controller = self.controller
+        state = self.state
+        clock = self.clock
+        scoring = self.scoring
+        assignments = self._assignments
+        observe = state.observe_degrees
         while True:
             # Refill the window up to the current target size w; the block
-            # is collected first so the array window can score it through
-            # one batched kernel call (degrees are observed inside
+            # is taken in one slice so the array window can score it
+            # through one batched kernel call (degrees are observed inside
             # add_block, edge by edge, preserving single-add semantics).
-            need = self.controller.window_size - len(window)
-            if not exhausted and need > 0:
-                block = []
-                while len(block) < need:
-                    try:
-                        block.append(next(source).canonical())
-                    except StopIteration:
-                        exhausted = True
-                        break
-                if block:
-                    window.add_block(block, observe=observe)
+            need = controller.window_size - len(window)
+            if need > 0 and pending:
+                block = pending[:need]
+                del pending[:len(block)]
+                window.add_block(block, observe=observe)
+                need -= len(block)
             if len(window) == 0:
-                if exhausted:
-                    break
-                continue
+                break
+            if need > 0 and not force:
+                # Under-filled and more stream may arrive: a batch run
+                # would have kept refilling before popping.
+                break
             edge, partition, score = window.pop_best()
-            changed = self.state.assign(edge, partition)
-            self.clock.charge_assignment()
+            changed = state.assign(edge, partition)
+            clock.charge_assignment()
             assignments[edge] = partition
-            self.scoring.after_assignment()
+            out.append(Assignment(edge, partition))
+            scoring.after_assignment()
             window.on_replicas_changed(changed)
-            self.controller.record(score, self.clock.now())
+            controller.record(score, clock.now())
             if (self._migrate_at is not None
-                    and self.controller.window_size >= self._migrate_at):
+                    and controller.window_size >= self._migrate_at):
                 # Hybrid switch: the window grew into the regime where
                 # the batched array engine wins; adopt the object
                 # window's state verbatim (bit-identical continuation).
@@ -244,18 +308,13 @@ class AdwisePartitioner(StreamingPartitioner):
 
                 window = self.window = ArrayEdgeWindow.from_object_window(
                     window, initial_capacity=min(
-                        self.max_window, 2 * self.controller.window_size))
+                        self.max_window, 2 * controller.window_size))
                 self._migrate_at = None
-        result = PartitionResult(
-            algorithm=self.name,
-            state=self.state,
-            assignments=assignments,
-            latency_ms=self.clock.now() - start_ms,
-            score_computations=getattr(self.clock, "score_computations", 0),
-        )
-        result.extras["max_window"] = float(self.controller.max_window_reached)
-        result.extras["final_window"] = float(self.controller.window_size)
-        result.extras["promotions"] = float(window.promotions)
-        if self.scoring.balancer is not None:
-            result.extras["final_lambda"] = self.scoring.balancer.value
-        return result
+        return out
+
+    def partition_stream(self, stream: EdgeStream) -> PartitionResult:
+        """Algorithm 1 over a whole stream — batch wrapper over
+        ``begin``/``ingest``/``finalize``."""
+        self.begin(total_edges=len(stream))
+        self.ingest(stream)
+        return self.finalize()

@@ -403,6 +403,66 @@ class ArrayEdgeWindow:
         return best_scores
 
     # ------------------------------------------------------------------
+    # Serialization (session snapshot boundary)
+    # ------------------------------------------------------------------
+    def to_image(self):
+        """Capture the traversal state verbatim as a
+        :class:`~repro.core.window.WindowImage` (component memos are
+        rebuilt on restore — they only ever hold values a fresh
+        computation would produce, so dropping them is invisible)."""
+        from repro.core.window import WindowImage
+
+        entries = []
+        for slot in self._sorted_slots().tolist():
+            edge = self._edges[slot]
+            entries.append((int(self._entry[slot]), edge.u, edge.v,
+                            float(self._score[slot]),
+                            int(self._partition[slot]),
+                            int(self._slot_version[slot]),
+                            bool(self._candidate[slot])))
+        return WindowImage(
+            entries=entries,
+            next_id=self._next_id,
+            score_sum=self._score_sum,
+            version=self._version,
+            promotions=self.promotions,
+        )
+
+    @classmethod
+    def from_image(cls, scoring: AdwiseScoring, image,
+                   lazy: bool = True, epsilon: float = 0.1,
+                   max_candidates: int = 64,
+                   initial_capacity: int = _MIN_CAPACITY
+                   ) -> "ArrayEdgeWindow":
+        """Rebuild a window from an image; continues bit-identically."""
+        new = cls(scoring, lazy=lazy, epsilon=epsilon,
+                  max_candidates=max_candidates,
+                  initial_capacity=max(initial_capacity,
+                                       2 * len(image.entries)))
+        for entry_id, u, v, score, partition, version, candidate in \
+                image.entries:
+            edge = Edge(u, v)
+            slot = new._alloc()
+            new._edges[slot] = edge
+            new._entry[slot] = entry_id
+            new._score[slot] = score
+            new._partition[slot] = partition
+            new._slot_version[slot] = version
+            new._candidate[slot] = candidate
+            new._alive[slot] = True
+            new._slot_of[entry_id] = slot
+            for endpoint in (edge.u, edge.v):
+                new._incidence.setdefault(endpoint, set()).add(slot)
+            new._count += 1
+            if candidate:
+                new._num_candidates += 1
+        new._next_id = image.next_id
+        new._score_sum = image.score_sum
+        new._version = image.version
+        new.promotions = image.promotions
+        return new
+
+    # ------------------------------------------------------------------
     # Migration (hybrid window engine)
     # ------------------------------------------------------------------
     @classmethod

@@ -35,6 +35,32 @@ from repro.core.scoring import AdwiseScoring
 
 
 @dataclass
+class WindowImage:
+    """Verbatim, picklable image of a live window's traversal state.
+
+    The mid-stream serialization boundary of partitioning sessions
+    (``repro.api``): every piece of state the traversal semantics depend
+    on is captured exactly — entry ids, cached (score, partition,
+    version) triples, candidate membership, the float score sum with its
+    accumulation history, the pop version and the promotion counter — so
+    a window rebuilt from an image continues bit-identically to the live
+    one (the same contract as the hybrid backend's
+    :meth:`~repro.core.array_window.ArrayEdgeWindow.from_object_window`
+    migration).  Both window classes produce and consume the same image,
+    so a session may be snapshot on one backend and restored on the
+    other.
+    """
+
+    #: ``(entry_id, u, v, score, partition, version, candidate)`` rows
+    #: in ascending entry-id order.
+    entries: List[Tuple[int, int, int, float, int, int, bool]]
+    next_id: int
+    score_sum: float
+    version: int
+    promotions: int
+
+
+@dataclass
 class _WindowEntry:
     """One window slot: an edge plus its cached best (score, partition).
 
@@ -171,6 +197,48 @@ class EdgeWindow:
             self._secondary.add(entry.entry_id)
             self._candidates.discard(entry.entry_id)
         entry.candidate = should_be_candidate
+
+    # ------------------------------------------------------------------
+    # Serialization (session snapshot boundary)
+    # ------------------------------------------------------------------
+    def to_image(self) -> WindowImage:
+        """Capture the traversal state verbatim (see :class:`WindowImage`)."""
+        entries = []
+        for entry_id in sorted(self._entries):
+            entry = self._entries[entry_id]
+            entries.append((entry_id, entry.edge.u, entry.edge.v,
+                            entry.best_score, entry.best_partition,
+                            entry.version, entry.candidate))
+        return WindowImage(
+            entries=entries,
+            next_id=self._next_id,
+            score_sum=self._score_sum,
+            version=self._version,
+            promotions=self.promotions,
+        )
+
+    @classmethod
+    def from_image(cls, scoring: AdwiseScoring, image: WindowImage,
+                   lazy: bool = True, epsilon: float = 0.1,
+                   max_candidates: int = 64) -> "EdgeWindow":
+        """Rebuild a window from an image; continues bit-identically."""
+        window = cls(scoring, lazy=lazy, epsilon=epsilon,
+                     max_candidates=max_candidates)
+        for entry_id, u, v, score, partition, version, candidate in \
+                image.entries:
+            edge = Edge(u, v)
+            entry = _WindowEntry(entry_id, edge, score, partition,
+                                 candidate=candidate, version=version)
+            window._entries[entry_id] = entry
+            (window._candidates if candidate
+             else window._secondary).add(entry_id)
+            for endpoint in (edge.u, edge.v):
+                window._incidence.setdefault(endpoint, set()).add(entry_id)
+        window._next_id = image.next_id
+        window._score_sum = image.score_sum
+        window._version = image.version
+        window.promotions = image.promotions
+        return window
 
     # ------------------------------------------------------------------
     # Mutation

@@ -5,18 +5,42 @@ Every algorithm — the single-edge baselines and ADWISE — implements
 assignment per edge, all bookkeeping through a :class:`PartitionState`.
 Latency is accounted on an injected :class:`~repro.simtime.Clock` so that
 the "partitioning latency" axis of every experiment is deterministic.
+
+Ingestion is incremental and first-class: a stream is consumed through
+``begin() -> ingest(edges)* -> finalize()``, where each :meth:`ingest`
+call may deliver any sub-slice of the stream and returns the
+:class:`Assignment` decisions it emitted.  :meth:`partition_stream` is a
+thin batch wrapper over those three calls, so one-shot runs and
+long-lived sessions (``repro.api`` / ``repro.service``) share the exact
+same driver — a batch run and any chunking of the same stream through
+``ingest`` are bit-identical by construction (enforced by
+``tests/test_ingest_api.py``).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence
 
 from repro.graph.graph import Edge
 from repro.graph.stream import EdgeStream
 from repro.partitioning.fast_state import FastPartitionState
 from repro.partitioning.state import PartitionState
 from repro.simtime import Clock, SimulatedClock
+
+
+@dataclass(frozen=True)
+class Assignment:
+    """One emitted partitioning decision: ``edge`` placed on ``partition``.
+
+    The unit of the incremental ingest API.  Window-based partitioners
+    may emit assignments in a different order than edges were ingested
+    (and may defer them across ``ingest`` calls), so decisions carry the
+    edge rather than relying on positional correspondence.
+    """
+
+    edge: Edge
+    partition: int
 
 
 @dataclass
@@ -72,6 +96,12 @@ class StreamingPartitioner:
 
     name = "abstract"
 
+    #: Whether this algorithm can consume a stream through the
+    #: incremental ``begin/ingest/finalize`` protocol.  Offline
+    #: partitioners that need the whole edge set up front (NE, Ja-Be-Ja)
+    #: set this to ``False`` and only support :meth:`partition_stream`.
+    supports_incremental = True
+
     def __init__(self, partitions: Sequence[int],
                  clock: Optional[Clock] = None,
                  state: Optional[PartitionState] = None,
@@ -83,6 +113,9 @@ class StreamingPartitioner:
         else:
             self.state = PartitionState(partitions)
         self.clock = clock if clock is not None else SimulatedClock()
+        self._streaming = False
+        self._assignments: Dict[Edge, int] = {}
+        self._start_ms = 0.0
 
     @property
     def partitions(self) -> List[int]:
@@ -107,17 +140,64 @@ class StreamingPartitioner:
         self.clock.charge_assignment()
         return partition
 
-    def partition_stream(self, stream: EdgeStream) -> PartitionResult:
-        """Partition the whole stream; single-edge streaming main loop."""
-        start = self.clock.now()
-        assignments: Dict[Edge, int] = {}
-        for edge in stream:
+    # ------------------------------------------------------------------
+    # Incremental ingestion protocol
+    # ------------------------------------------------------------------
+    def begin(self, total_edges: int = 0) -> None:
+        """Open a new stream: reset per-stream driver state.
+
+        ``total_edges`` is the expected stream length when known (batch
+        runs pass ``len(stream)``); ``0`` means unbounded/unknown — the
+        natural setting for a live ingest session.  Single-edge
+        algorithms ignore it; window-based subclasses use it to budget
+        their latency preference.
+        """
+        self._streaming = True
+        self._assignments = {}
+        self._start_ms = self.clock.now()
+
+    def ingest(self, edges: Iterable[Edge]) -> List[Assignment]:
+        """Consume a slice of the stream; return the decisions emitted.
+
+        May be called any number of times between :meth:`begin` and
+        :meth:`finalize`; calling it on a closed partitioner implicitly
+        opens a stream of unknown length.  Single-edge algorithms assign
+        every ingested edge immediately, so the returned list has one
+        :class:`Assignment` per input edge, in input order.
+        """
+        if not self._streaming:
+            self.begin()
+        out: List[Assignment] = []
+        assignments = self._assignments
+        for edge in edges:
             canon = edge.canonical()
-            assignments[canon] = self.partition_edge(canon)
+            partition = self.partition_edge(canon)
+            assignments[canon] = partition
+            out.append(Assignment(canon, partition))
+        return out
+
+    def finalize(self) -> PartitionResult:
+        """Close the stream: flush deferred work, return the result.
+
+        Single-edge algorithms have nothing buffered, so this only
+        assembles the :class:`PartitionResult`; window-based subclasses
+        drain their window here (the window-flush semantics batch runs
+        get from stream exhaustion).
+        """
+        if not self._streaming:
+            self.begin()
+        self._streaming = False
         return PartitionResult(
             algorithm=self.name,
             state=self.state,
-            assignments=assignments,
-            latency_ms=self.clock.now() - start,
+            assignments=self._assignments,
+            latency_ms=self.clock.now() - self._start_ms,
             score_computations=getattr(self.clock, "score_computations", 0),
         )
+
+    def partition_stream(self, stream: EdgeStream) -> PartitionResult:
+        """Partition the whole stream — batch wrapper over the
+        incremental protocol (one ``begin``/``ingest``/``finalize``)."""
+        self.begin(total_edges=len(stream))
+        self.ingest(stream)
+        return self.finalize()

@@ -53,6 +53,8 @@ class JaBeJaVCPartitioner(StreamingPartitioner):
         self.cooling = cooling
         self._seed = seed
 
+    supports_incremental = False  # iterative: needs the whole edge set
+
     def select_partition(self, edge: Edge) -> int:  # pragma: no cover
         raise NotImplementedError("JaBeJa-VC is iterative; "
                                   "use partition_stream")

@@ -40,6 +40,7 @@ class NEPartitioner(StreamingPartitioner):
     """All-edge neighborhood-expansion vertex-cut partitioner."""
 
     name = "NE"
+    supports_incremental = False  # needs the whole edge set up front
 
     def __init__(self, partitions: Sequence[int],
                  clock: Optional[Clock] = None,

@@ -1,0 +1,28 @@
+"""Partitioning-as-a-service: a multi-tenant asyncio daemon.
+
+This package turns the session API (:mod:`repro.api`) into a long-lived
+network service: a single :class:`~repro.service.server.PartitionService`
+process multiplexes many tenants, each bound to a live
+:class:`~repro.api.PartitionSession`, over a line-delimited-JSON TCP
+protocol.  Per-tenant bounded ingest queues provide backpressure, a
+metrics/audit layer exposes throughput, replication degree, imbalance
+and a decision log, and graceful shutdown snapshots every live session
+to disk so a restarted daemon resumes bit-identically.
+
+Entry points: ``repro-cli serve`` starts a daemon,
+:class:`~repro.service.client.ServiceClient` talks to one.
+"""
+
+from repro.service.audit import AuditRecord, DecisionLog
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.metrics import TenantMetrics
+from repro.service.server import PartitionService
+
+__all__ = [
+    "AuditRecord",
+    "DecisionLog",
+    "PartitionService",
+    "ServiceClient",
+    "ServiceError",
+    "TenantMetrics",
+]

@@ -1,0 +1,69 @@
+"""Decision audit log: a bounded ring of recent partitioning decisions.
+
+Every assignment the daemon emits for a tenant is appended here with a
+monotonically increasing sequence number, so an operator (or a test) can
+ask "what did the partitioner just decide, and in what order?" without
+the daemon retaining the unbounded full history.  ``tail(n)`` returns
+the most recent ``n`` records oldest-first; ``dropped`` says how many
+older records the ring has already forgotten.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+
+@dataclass(frozen=True)
+class AuditRecord:
+    """One partitioning decision, as the audit trail remembers it."""
+
+    seq: int
+    u: int
+    v: int
+    partition: int
+
+    def to_dict(self) -> dict:
+        return {"seq": self.seq, "u": self.u, "v": self.v,
+                "partition": self.partition}
+
+
+class DecisionLog:
+    """Fixed-capacity ring buffer of :class:`AuditRecord`."""
+
+    def __init__(self, capacity: int = 4096) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._records: List[AuditRecord] = []
+        self._cursor = 0
+        self._next_seq = 0
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    @property
+    def total_recorded(self) -> int:
+        """Decisions ever appended (including ones the ring dropped)."""
+        return self._next_seq
+
+    @property
+    def dropped(self) -> int:
+        return self._next_seq - len(self._records)
+
+    def record(self, u: int, v: int, partition: int) -> AuditRecord:
+        entry = AuditRecord(self._next_seq, u, v, partition)
+        self._next_seq += 1
+        if len(self._records) < self.capacity:
+            self._records.append(entry)
+        else:
+            self._records[self._cursor] = entry
+            self._cursor = (self._cursor + 1) % self.capacity
+        return entry
+
+    def tail(self, count: int) -> List[AuditRecord]:
+        """The most recent ``count`` records, oldest-first."""
+        if count <= 0:
+            return []
+        in_order = self._records[self._cursor:] + self._records[:self._cursor]
+        return in_order[-count:]

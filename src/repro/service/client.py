@@ -1,0 +1,149 @@
+"""Synchronous client for the partitioning daemon.
+
+A thin blocking wrapper over the line-delimited-JSON protocol (see
+:mod:`repro.service.server`), for tests, the ``repro-cli client``
+subcommand and the service benchmark.  One client = one TCP connection;
+requests are tagged with sequential ``id``s and responses are matched
+by id, so ingest batches may be pipelined with :meth:`ingest_async` and
+collected later with :meth:`drain`.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Dict, Iterable, List, Optional, Tuple
+
+
+class ServiceError(RuntimeError):
+    """The daemon answered ``ok: false``."""
+
+
+class ServiceClient:
+    """Blocking ndjson client for :class:`PartitionService`."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0,
+                 timeout: float = 30.0) -> None:
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._reader = self._sock.makefile("rb")
+        self._next_id = 0
+        self._pending: Dict[int, None] = {}
+        self._responses: Dict[int, dict] = {}
+
+    # ------------------------------------------------------------------
+    # Wire plumbing
+    # ------------------------------------------------------------------
+    def _send(self, payload: dict) -> int:
+        request_id = self._next_id
+        self._next_id += 1
+        payload = dict(payload, id=request_id)
+        self._sock.sendall(json.dumps(payload).encode() + b"\n")
+        self._pending[request_id] = None
+        return request_id
+
+    def _read_one(self) -> dict:
+        line = self._reader.readline()
+        if not line:
+            raise ServiceError("connection closed by daemon")
+        return json.loads(line)
+
+    def _wait_for(self, request_id: int) -> dict:
+        while request_id not in self._responses:
+            response = self._read_one()
+            self._responses[response.get("id")] = response
+        self._pending.pop(request_id, None)
+        response = self._responses.pop(request_id)
+        if not response.get("ok", False):
+            raise ServiceError(response.get("error", "daemon error"))
+        return response
+
+    def request(self, payload: dict) -> dict:
+        """Send one request and block for its response."""
+        return self._wait_for(self._send(payload))
+
+    # ------------------------------------------------------------------
+    # Protocol helpers
+    # ------------------------------------------------------------------
+    def ping(self) -> dict:
+        return self.request({"op": "ping"})
+
+    def open(self, tenant: str, algorithm: str = "adwise",
+             partitions: int = 32, expected_edges: int = 0,
+             **knobs) -> dict:
+        return self.request({"op": "open", "tenant": tenant,
+                             "algorithm": algorithm,
+                             "partitions": partitions,
+                             "expected_edges": expected_edges,
+                             "knobs": knobs})
+
+    def ingest(self, tenant: str,
+               edges: Iterable[Tuple[int, int]]) -> List[Tuple[int, int, int]]:
+        """Ingest a batch; block until it is partitioned.  Returns the
+        emitted assignments as ``(u, v, partition)`` triples."""
+        return self._assignments(self.request(self._ingest_payload(
+            tenant, edges)))
+
+    def ingest_async(self, tenant: str,
+                     edges: Iterable[Tuple[int, int]]) -> int:
+        """Pipeline a batch without waiting; pair with :meth:`drain`."""
+        return self._send(self._ingest_payload(tenant, edges))
+
+    def drain(self, request_ids: Iterable[int]
+              ) -> List[Tuple[int, int, int]]:
+        """Collect the assignments of previously pipelined batches."""
+        out: List[Tuple[int, int, int]] = []
+        for request_id in request_ids:
+            out.extend(self._assignments(self._wait_for(request_id)))
+        return out
+
+    @staticmethod
+    def _ingest_payload(tenant: str,
+                        edges: Iterable[Tuple[int, int]]) -> dict:
+        return {"op": "ingest", "tenant": tenant,
+                "edges": [[int(u), int(v)] for u, v in edges]}
+
+    @staticmethod
+    def _assignments(response: dict) -> List[Tuple[int, int, int]]:
+        return [(u, v, p) for u, v, p in response.get("assignments", [])]
+
+    def query_vertex(self, tenant: str, vertex: int) -> List[int]:
+        return self.request({"op": "query", "tenant": tenant,
+                             "vertex": vertex})["replicas"]
+
+    def query_edge(self, tenant: str, u: int, v: int) -> Optional[int]:
+        return self.request({"op": "query", "tenant": tenant,
+                             "edge": [u, v]})["partition"]
+
+    def stats(self, tenant: str) -> dict:
+        return self.request({"op": "stats", "tenant": tenant})
+
+    def audit(self, tenant: str, limit: int = 32) -> dict:
+        return self.request({"op": "audit", "tenant": tenant,
+                             "limit": limit})
+
+    def tenants(self) -> List[dict]:
+        return self.request({"op": "tenants"})["tenants"]
+
+    def snapshot(self, tenant: str) -> dict:
+        return self.request({"op": "snapshot", "tenant": tenant})
+
+    def finalize(self, tenant: str) -> dict:
+        return self.request({"op": "finalize", "tenant": tenant})
+
+    def close_tenant(self, tenant: str) -> dict:
+        return self.request({"op": "close", "tenant": tenant})
+
+    def shutdown(self) -> dict:
+        return self.request({"op": "shutdown"})
+
+    def close(self) -> None:
+        try:
+            self._reader.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,87 @@
+"""Per-tenant service metrics: throughput and ingest-latency quantiles.
+
+The daemon's observability layer.  Each tenant owns one
+:class:`TenantMetrics`; the ingest worker feeds it one observation per
+batch (size + enqueue-to-completion latency) and ``stats`` requests read
+it back as a plain dict.
+
+Latencies are kept in a bounded ring (most recent ``capacity`` batches)
+so a long-lived tenant cannot grow daemon memory; p99 over the recent
+window is the quantity an operator actually wants when deciding whether
+a tenant is keeping up.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Optional
+
+
+def percentile(samples: List[float], fraction: float) -> float:
+    """Nearest-rank percentile (``fraction`` in [0, 1]) of ``samples``.
+
+    Nearest-rank (not interpolated) so the reported p99 is a latency that
+    actually occurred.  Returns 0.0 for an empty sample set.
+    """
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    rank = min(len(ordered) - 1, max(0, int(fraction * len(ordered))))
+    return ordered[rank]
+
+
+class TenantMetrics:
+    """Rolling ingest statistics for one tenant."""
+
+    def __init__(self, capacity: int = 1024,
+                 clock: Optional[object] = None) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self._now = clock if clock is not None else time.monotonic
+        self.capacity = capacity
+        self.opened_at = self._now()
+        self.edges_ingested = 0
+        self.batches = 0
+        self.queue_high_water = 0
+        self._latencies: List[float] = []
+        self._cursor = 0
+
+    def observe_batch(self, edges: int, latency_s: float) -> None:
+        """Record one completed ingest batch."""
+        self.edges_ingested += edges
+        self.batches += 1
+        if len(self._latencies) < self.capacity:
+            self._latencies.append(latency_s)
+        else:
+            self._latencies[self._cursor] = latency_s
+            self._cursor = (self._cursor + 1) % self.capacity
+
+    def observe_queue_depth(self, depth: int) -> None:
+        if depth > self.queue_high_water:
+            self.queue_high_water = depth
+
+    @property
+    def uptime_s(self) -> float:
+        return max(self._now() - self.opened_at, 0.0)
+
+    @property
+    def edges_per_second(self) -> float:
+        """Sustained ingest throughput since the tenant opened."""
+        uptime = self.uptime_s
+        if uptime <= 0.0:
+            return 0.0
+        return self.edges_ingested / uptime
+
+    def latency_percentile_ms(self, fraction: float) -> float:
+        return percentile(self._latencies, fraction) * 1000.0
+
+    def to_dict(self) -> dict:
+        return {
+            "edges_ingested": self.edges_ingested,
+            "batches": self.batches,
+            "uptime_s": self.uptime_s,
+            "edges_per_second": self.edges_per_second,
+            "queue_high_water": self.queue_high_water,
+            "p50_ingest_ms": self.latency_percentile_ms(0.50),
+            "p99_ingest_ms": self.latency_percentile_ms(0.99),
+        }

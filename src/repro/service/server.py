@@ -1,0 +1,433 @@
+"""The multi-tenant partitioning daemon.
+
+One :class:`PartitionService` process serves many *tenants*.  Each
+tenant is a named, long-lived :class:`~repro.api.PartitionSession` —
+its own algorithm, partition count and knobs — fed incrementally over
+TCP.  The wire protocol is line-delimited JSON: one request object per
+line, one response object per line, with an optional ``id`` echoed back
+so clients may pipeline requests.
+
+Concurrency model
+-----------------
+The server is a single asyncio event loop.  Every tenant owns a bounded
+``asyncio.Queue`` and one worker task; connection handlers *enqueue*
+ingest batches and move on to the next request, while the worker drains
+the queue in FIFO order and writes each response when its batch has
+been partitioned.  The bounded queue is the backpressure mechanism:
+when a tenant's queue is full, ``await queue.put(...)`` suspends the
+connection that is feeding it — TCP's flow control then pushes back on
+the client — without stalling other tenants.  Because a single worker
+serializes each tenant's batches, results are bit-identical to feeding
+the same stream through a local session (``tests/test_service.py``
+proves parity against :meth:`partition_stream`).
+
+Durability
+----------
+``shutdown`` (or :meth:`PartitionService.stop`) snapshots every live
+tenant to ``snapshot_dir`` via :meth:`PartitionSession.snapshot`; a
+daemon started over the same directory resumes those tenants
+bit-identically (sessions on a wall clock cannot be snapshot and are
+dropped with a warning in the shutdown response).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import time
+from typing import Dict, Optional
+
+from repro.api import (
+    PartitionSession,
+    SessionError,
+    SessionSnapshot,
+    open_session,
+    restore_session,
+)
+from repro.service.audit import DecisionLog
+from repro.service.metrics import TenantMetrics
+
+SNAPSHOT_SUFFIX = ".snapshot"
+
+
+class Tenant:
+    """Daemon-side state for one tenant: session + queue + worker."""
+
+    def __init__(self, name: str, session: PartitionSession,
+                 queue_depth: int, audit_depth: int) -> None:
+        self.name = name
+        self.session = session
+        self.queue: asyncio.Queue = asyncio.Queue(maxsize=queue_depth)
+        self.metrics = TenantMetrics()
+        self.audit = DecisionLog(capacity=audit_depth)
+        self.worker: Optional[asyncio.Task] = None
+        self.closed = False
+
+
+class PartitionService:
+    """Asyncio TCP daemon multiplexing partitioning sessions.
+
+    Parameters
+    ----------
+    host / port:
+        Bind address; ``port=0`` picks a free port (read it back from
+        :attr:`port` after :meth:`start`).
+    max_tenants:
+        Upper bound on concurrently open sessions; ``open`` beyond it
+        is refused.
+    queue_depth:
+        Per-tenant ingest queue bound — the backpressure knob.
+    snapshot_dir:
+        Directory for shutdown snapshots; ``None`` disables durability.
+        On :meth:`start`, any ``*.snapshot`` files there are restored
+        as live tenants.
+    audit_depth:
+        Per-tenant decision-log ring capacity.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0,
+                 max_tenants: int = 64, queue_depth: int = 16,
+                 snapshot_dir: Optional[str] = None,
+                 audit_depth: int = 4096) -> None:
+        if max_tenants < 1:
+            raise ValueError("max_tenants must be >= 1")
+        if queue_depth < 1:
+            raise ValueError("queue_depth must be >= 1")
+        self.host = host
+        self.port = port
+        self.max_tenants = max_tenants
+        self.queue_depth = queue_depth
+        self.snapshot_dir = snapshot_dir
+        self.audit_depth = audit_depth
+        self.tenants: Dict[str, Tenant] = {}
+        self.started_at = 0.0
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._stopping = asyncio.Event()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Bind, restore snapshot tenants, and begin accepting clients."""
+        restored = self._restore_tenants()
+        self._server = await asyncio.start_server(
+            self._handle_connection, host=self.host, port=self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+        self.started_at = time.monotonic()
+        for tenant in restored:
+            self._start_worker(tenant)
+
+    async def serve_forever(self) -> None:
+        """Run until :meth:`stop` (or a ``shutdown`` request) fires."""
+        if self._server is None:
+            await self.start()
+        await self._stopping.wait()
+
+    async def stop(self) -> dict:
+        """Graceful shutdown: quiesce workers, snapshot live tenants."""
+        report = {"snapshots": [], "dropped": []}
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for tenant in list(self.tenants.values()):
+            await self._quiesce(tenant)
+            if tenant.session.closed:
+                continue
+            if self.snapshot_dir is None:
+                report["dropped"].append(tenant.name)
+                continue
+            try:
+                path = self._snapshot_path(tenant.name)
+                tenant.session.snapshot().save(path)
+                report["snapshots"].append(tenant.name)
+            except SessionError:
+                # Wall-clock session: not resumable, nothing to persist.
+                report["dropped"].append(tenant.name)
+        self._stopping.set()
+        return report
+
+    def _snapshot_path(self, name: str) -> str:
+        os.makedirs(self.snapshot_dir, exist_ok=True)
+        return os.path.join(self.snapshot_dir, name + SNAPSHOT_SUFFIX)
+
+    def _restore_tenants(self) -> list:
+        restored = []
+        if self.snapshot_dir is None or not os.path.isdir(self.snapshot_dir):
+            return restored
+        for filename in sorted(os.listdir(self.snapshot_dir)):
+            if not filename.endswith(SNAPSHOT_SUFFIX):
+                continue
+            path = os.path.join(self.snapshot_dir, filename)
+            name = filename[:-len(SNAPSHOT_SUFFIX)]
+            session = restore_session(SessionSnapshot.load(path))
+            tenant = Tenant(name, session, self.queue_depth,
+                            self.audit_depth)
+            self.tenants[name] = tenant
+            restored.append(tenant)
+            os.remove(path)
+        return restored
+
+    # ------------------------------------------------------------------
+    # Tenant workers
+    # ------------------------------------------------------------------
+    def _start_worker(self, tenant: Tenant) -> None:
+        tenant.worker = asyncio.get_running_loop().create_task(
+            self._ingest_worker(tenant))
+
+    async def _ingest_worker(self, tenant: Tenant) -> None:
+        """Drain one tenant's queue; one batch at a time, FIFO."""
+        while True:
+            item = await tenant.queue.get()
+            if item is None:
+                tenant.queue.task_done()
+                return
+            edges, enqueued_at, reply = item
+            try:
+                assignments = tenant.session.ingest(edges)
+                for assignment in assignments:
+                    tenant.audit.record(assignment.edge.u,
+                                        assignment.edge.v,
+                                        assignment.partition)
+                tenant.metrics.observe_batch(
+                    len(edges), time.monotonic() - enqueued_at)
+                response = {
+                    "ok": True,
+                    "accepted": len(edges),
+                    "assignments": [[a.edge.u, a.edge.v, a.partition]
+                                    for a in assignments],
+                }
+            except Exception as exc:  # surface, don't kill the worker
+                response = {"ok": False, "error": str(exc)}
+            await reply(response)
+            tenant.queue.task_done()
+
+    async def _quiesce(self, tenant: Tenant) -> None:
+        """Stop a tenant's worker after the queued batches drain."""
+        if tenant.worker is None:
+            return
+        await tenant.queue.put(None)
+        await tenant.worker
+        tenant.worker = None
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        write_lock = asyncio.Lock()
+
+        async def send(payload: dict) -> None:
+            async with write_lock:
+                writer.write(json.dumps(payload).encode() + b"\n")
+                await writer.drain()
+
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                try:
+                    request = json.loads(line)
+                    if not isinstance(request, dict):
+                        raise ValueError("request must be a JSON object")
+                except ValueError as exc:
+                    await send({"ok": False, "error": f"bad request: {exc}"})
+                    continue
+                stop_after = await self._dispatch(request, send)
+                if stop_after:
+                    break
+        except (ConnectionResetError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _dispatch(self, request: dict, send) -> bool:
+        """Route one request; returns True when the connection (and the
+        daemon, for ``shutdown``) should wind down afterwards."""
+        op = request.get("op")
+        request_id = request.get("id")
+
+        async def reply(payload: dict) -> None:
+            if request_id is not None:
+                payload = dict(payload, id=request_id)
+            await send(payload)
+
+        try:
+            if op == "ping":
+                await reply({"ok": True, "pong": True,
+                             "tenants": len(self.tenants)})
+            elif op == "open":
+                await reply(self._op_open(request))
+            elif op == "ingest":
+                # Replies are sent by the tenant worker (see module
+                # docstring); the await below is the backpressure point.
+                tenant = self._tenant_of(request)
+                edges = [(int(u), int(v))
+                         for u, v in request.get("edges", [])]
+                tenant.metrics.observe_queue_depth(tenant.queue.qsize() + 1)
+                await tenant.queue.put((edges, time.monotonic(), reply))
+            elif op == "query":
+                await reply(self._op_query(request))
+            elif op == "stats":
+                await reply(self._op_stats(request))
+            elif op == "audit":
+                await reply(self._op_audit(request))
+            elif op == "finalize":
+                await reply(await self._op_finalize(request))
+            elif op == "snapshot":
+                await reply(await self._op_snapshot(request))
+            elif op == "close":
+                await reply(await self._op_close(request))
+            elif op == "tenants":
+                await reply(self._op_tenants())
+            elif op == "shutdown":
+                report = await self.stop()
+                await reply(dict(report, ok=True))
+                return True
+            else:
+                await reply({"ok": False, "error": f"unknown op {op!r}"})
+        except (SessionError, KeyError, TypeError, ValueError) as exc:
+            await reply({"ok": False, "error": str(exc)})
+        return False
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+    def _tenant_of(self, request: dict) -> Tenant:
+        name = request.get("tenant")
+        if not name or name not in self.tenants:
+            raise SessionError(f"unknown tenant {name!r}")
+        tenant = self.tenants[name]
+        if tenant.closed:
+            raise SessionError(f"tenant {name!r} is closed")
+        return tenant
+
+    def _op_open(self, request: dict) -> dict:
+        name = request.get("tenant")
+        if not name or not isinstance(name, str):
+            raise SessionError("open requires a tenant name")
+        if any(c in name for c in "/\\\0") or name.startswith("."):
+            raise SessionError(f"invalid tenant name {name!r}")
+        if name in self.tenants:
+            raise SessionError(f"tenant {name!r} already exists")
+        if len(self.tenants) >= self.max_tenants:
+            raise SessionError(
+                f"tenant limit reached ({self.max_tenants})")
+        knobs = request.get("knobs") or {}
+        if not isinstance(knobs, dict):
+            raise SessionError("knobs must be an object")
+        session = open_session(
+            algorithm=request.get("algorithm", "adwise"),
+            partitions=request.get("partitions", 32),
+            expected_edges=int(request.get("expected_edges", 0)),
+            **knobs)
+        tenant = Tenant(name, session, self.queue_depth, self.audit_depth)
+        self.tenants[name] = tenant
+        self._start_worker(tenant)
+        return {"ok": True, "tenant": name,
+                "algorithm": session.algorithm,
+                "partitions": session.partitioner.state.num_partitions}
+
+    def _op_query(self, request: dict) -> dict:
+        tenant = self._tenant_of(request)
+        if "vertex" in request:
+            vertex = int(request["vertex"])
+            return {"ok": True, "vertex": vertex,
+                    "replicas": tenant.session.query_vertex(vertex)}
+        if "edge" in request:
+            u, v = request["edge"]
+            return {"ok": True, "edge": [int(u), int(v)],
+                    "partition": tenant.session.query_edge(int(u), int(v))}
+        raise SessionError("query requires 'vertex' or 'edge'")
+
+    def _op_stats(self, request: dict) -> dict:
+        tenant = self._tenant_of(request)
+        return {"ok": True, "tenant": tenant.name,
+                "session": tenant.session.stats().to_dict(),
+                "metrics": tenant.metrics.to_dict(),
+                "queue_depth": tenant.queue.qsize(),
+                "audit": {"recorded": tenant.audit.total_recorded,
+                          "retained": len(tenant.audit),
+                          "dropped": tenant.audit.dropped}}
+
+    def _op_audit(self, request: dict) -> dict:
+        tenant = self._tenant_of(request)
+        limit = int(request.get("limit", 32))
+        return {"ok": True, "tenant": tenant.name,
+                "decisions": [r.to_dict()
+                              for r in tenant.audit.tail(limit)],
+                "dropped": tenant.audit.dropped}
+
+    async def _op_finalize(self, request: dict) -> dict:
+        """Drain the queue, finalize the session, retire the tenant."""
+        tenant = self._tenant_of(request)
+        tenant.closed = True  # refuse new batches while draining
+        await self._quiesce(tenant)
+        result = tenant.session.finalize()
+        del self.tenants[tenant.name]
+        return {"ok": True, "tenant": tenant.name,
+                "assignments": sorted(
+                    [e.u, e.v, p] for e, p in result.assignments.items()),
+                "replication_degree": result.replication_degree,
+                "imbalance": result.imbalance,
+                "latency_ms": result.latency_ms,
+                "extras": result.extras}
+
+    async def _op_snapshot(self, request: dict) -> dict:
+        """On-demand snapshot of one live tenant (tenant stays live)."""
+        if self.snapshot_dir is None:
+            raise SessionError("daemon started without --snapshot-dir")
+        tenant = self._tenant_of(request)
+        await tenant.queue.join()  # settle in-flight batches first
+        path = self._snapshot_path(tenant.name)
+        tenant.session.snapshot().save(path)
+        return {"ok": True, "tenant": tenant.name, "path": path}
+
+    async def _op_close(self, request: dict) -> dict:
+        """Drop a tenant without finalizing (abandon its stream)."""
+        tenant = self._tenant_of(request)
+        tenant.closed = True
+        await self._quiesce(tenant)
+        del self.tenants[tenant.name]
+        return {"ok": True, "tenant": tenant.name, "closed": True}
+
+    def _op_tenants(self) -> dict:
+        return {"ok": True, "tenants": [
+            {"tenant": t.name,
+             "algorithm": t.session.algorithm,
+             "edges_ingested": t.session.edges_ingested,
+             "queue_depth": t.queue.qsize()}
+            for t in self.tenants.values()]}
+
+
+def run_service(host: str = "127.0.0.1", port: int = 0,
+                max_tenants: int = 64, queue_depth: int = 16,
+                snapshot_dir: Optional[str] = None,
+                ready_callback=None) -> None:
+    """Blocking entry point used by ``repro-cli serve``.
+
+    ``ready_callback(service)`` fires once the socket is bound — the CLI
+    uses it to print the actual port (``--port 0``), tests use it to
+    learn where to connect.
+    """
+
+    async def main() -> None:
+        service = PartitionService(host=host, port=port,
+                                   max_tenants=max_tenants,
+                                   queue_depth=queue_depth,
+                                   snapshot_dir=snapshot_dir)
+        await service.start()
+        if ready_callback is not None:
+            ready_callback(service)
+        await service.serve_forever()
+
+    asyncio.run(main())
+
+
+__all__ = ["PartitionService", "Tenant", "run_service", "SNAPSHOT_SUFFIX"]

@@ -296,3 +296,119 @@ class TestPipelineCommand:
                      "--spread", "2"])
         assert code == 2
         assert "--load-workers" in capsys.readouterr().err
+
+
+class TestServeAndClient:
+    """serve + client subcommands against a real daemon."""
+
+    def _boot(self, extra_args=None):
+        """Start a daemon thread directly (run_service is what the
+        serve subcommand wraps); returns (port, thread)."""
+        import threading
+
+        from repro.service.server import run_service
+
+        ready = threading.Event()
+        box = {}
+
+        def on_ready(service):
+            box["port"] = service.port
+            ready.set()
+
+        kwargs = dict(port=0, ready_callback=on_ready)
+        kwargs.update(extra_args or {})
+        thread = threading.Thread(target=run_service, kwargs=kwargs,
+                                  daemon=True)
+        thread.start()
+        assert ready.wait(10), "daemon did not come up"
+        return box["port"], thread
+
+    def _shutdown(self, port, thread):
+        from repro.service.client import ServiceClient
+
+        with ServiceClient(port=port) as client:
+            client.shutdown()
+        thread.join(10)
+
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.port == 7733
+        assert args.max_tenants == 64
+        assert args.queue_depth == 16
+        assert args.snapshot_dir is None
+
+    def test_serve_rejects_bad_limits(self, capsys):
+        assert main(["serve", "--max-tenants", "0"]) == 2
+        assert "--max-tenants" in capsys.readouterr().err
+
+    def test_serve_announces_bound_port(self, capsys):
+        """The serve subcommand prints the OS-assigned port (--port 0)."""
+        import re
+        import threading
+        import time
+
+        from repro.service.client import ServiceClient
+
+        thread = threading.Thread(
+            target=main, args=(["serve", "--port", "0"],), daemon=True)
+        thread.start()
+        captured = ""
+        port = None
+        for _ in range(200):
+            captured += capsys.readouterr().out
+            match = re.search(r"listening on .*:(\d+)", captured)
+            if match:
+                port = int(match.group(1))
+                break
+            time.sleep(0.05)
+        assert port is not None, "serve never announced its port"
+        with ServiceClient(port=port) as client:
+            assert client.ping()["pong"] is True
+            client.shutdown()
+        thread.join(10)
+
+    def test_client_defaults(self):
+        args = build_parser().parse_args(["client", "g.txt"])
+        assert args.tenant == "cli"
+        assert args.algorithm == "adwise"
+        assert args.batch_size == 512
+
+    def test_client_streams_file_and_finalizes(self, graph_file, capsys):
+        port, thread = self._boot()
+        try:
+            code = main(["client", graph_file, "--port", str(port),
+                         "--partitions", "4", "--batch-size", "64",
+                         "--latency-preference", "20"])
+            assert code == 0
+            out = capsys.readouterr().out
+            assert "replication degree:" in out
+            assert "finalized:" in out
+        finally:
+            self._shutdown(port, thread)
+
+    def test_client_keep_open_leaves_tenant(self, graph_file, capsys):
+        from repro.service.client import ServiceClient
+
+        port, thread = self._boot()
+        try:
+            code = main(["client", graph_file, "--port", str(port),
+                         "--algorithm", "hdrf", "--partitions", "4",
+                         "--keep-open"])
+            assert code == 0
+            assert "finalized:" not in capsys.readouterr().out
+            with ServiceClient(port=port) as probe:
+                assert [t["tenant"] for t in probe.tenants()] == ["cli"]
+        finally:
+            self._shutdown(port, thread)
+
+    def test_client_against_dead_daemon_fails_cleanly(self, graph_file,
+                                                      capsys):
+        import socket
+
+        # Find a port with nothing listening on it.
+        with socket.socket() as probe:
+            probe.bind(("127.0.0.1", 0))
+            free_port = probe.getsockname()[1]
+        code = main(["client", graph_file, "--port", str(free_port)])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err

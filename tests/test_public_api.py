@@ -35,6 +35,35 @@ class TestTopLevelExports:
         names = [getattr(algorithms, n).name for n in algorithms.__all__]
         assert len(names) == len(set(names))
 
+    def test_session_facade_exported(self):
+        from repro import (
+            Assignment,
+            PartitionSession,
+            SessionError,
+            SessionSnapshot,
+            SessionStats,
+            open_session,
+            restore_session,
+        )
+
+        session = open_session(algorithm="hdrf", partitions=4)
+        assert isinstance(session, PartitionSession)
+        emitted = session.ingest([(0, 1), (1, 2)])
+        assert all(isinstance(a, Assignment) for a in emitted)
+        assert isinstance(session.stats(), SessionStats)
+        assert isinstance(session.snapshot(), SessionSnapshot)
+        restored = restore_session(session.snapshot())
+        assert isinstance(restored, PartitionSession)
+        with pytest.raises(SessionError):
+            open_session(algorithm="no-such-algorithm", partitions=4)
+
+    def test_offline_algorithms_refuse_sessions(self):
+        from repro import open_session, SessionError
+
+        for algorithm in ("ne", "jabeja"):
+            with pytest.raises(SessionError):
+                open_session(algorithm=algorithm, partitions=4)
+
 
 @pytest.mark.parametrize("module", [
     "repro.graph", "repro.graph.graph", "repro.graph.io",
@@ -53,6 +82,9 @@ class TestTopLevelExports:
     "repro.bench", "repro.bench.workloads", "repro.bench.harness",
     "repro.bench.reporting", "repro.bench.charts",
     "repro.simtime", "repro.util", "repro.cli",
+    "repro.api", "repro.service", "repro.service.server",
+    "repro.service.client", "repro.service.metrics",
+    "repro.service.audit",
 ])
 def test_module_imports_cleanly(module):
     importlib.import_module(module)

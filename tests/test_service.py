@@ -1,0 +1,250 @@
+"""Daemon tests: protocol, multi-tenant parity, backpressure, durability.
+
+Each test boots a real :class:`PartitionService` on an OS-assigned port
+in a background thread and talks to it over TCP with the blocking
+:class:`ServiceClient` — the same stack production traffic would use.
+The headline contract: interleaved tenants are fully isolated, and a
+tenant's stream produces **bit-identical** assignments to a local
+``partition_stream`` run, even across a snapshot shutdown + restart.
+"""
+
+import random
+import threading
+
+import pytest
+
+from repro.core.adwise import AdwisePartitioner
+from repro.graph.graph import Edge
+from repro.graph.stream import InMemoryEdgeStream
+from repro.partitioning.hdrf import HDRFPartitioner
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.server import run_service
+from repro.simtime import SimulatedClock
+
+
+def _edges(n, vertices, seed):
+    rng = random.Random(seed)
+    out = [(rng.randrange(vertices), rng.randrange(vertices))
+           for _ in range(n)]
+    return [(u, v) for u, v in out if u != v]
+
+
+EDGES = _edges(1200, 200, seed=17)
+
+
+@pytest.fixture
+def daemon(tmp_path):
+    """A live daemon; yields (port, snapshot_dir, restart)."""
+    snapshot_dir = str(tmp_path / "snapshots")
+    threads = []
+
+    def boot():
+        ready = threading.Event()
+        box = {}
+
+        def on_ready(service):
+            box["port"] = service.port
+            ready.set()
+
+        thread = threading.Thread(
+            target=run_service,
+            kwargs=dict(port=0, queue_depth=4, max_tenants=4,
+                        snapshot_dir=snapshot_dir,
+                        ready_callback=on_ready),
+            daemon=True)
+        thread.start()
+        assert ready.wait(10), "daemon did not come up"
+        threads.append(thread)
+        return box["port"]
+
+    port = boot()
+    yield port, snapshot_dir, boot
+    for thread in threads:
+        if thread.is_alive():
+            try:
+                with ServiceClient(port=port) as client:
+                    client.shutdown()
+            except (OSError, ServiceError):
+                pass
+        thread.join(10)
+
+
+def _reference(algorithm_cls, partitions, edge_pairs, **knobs):
+    partitioner = algorithm_cls(list(range(partitions)),
+                                clock=SimulatedClock(), **knobs)
+    stream = InMemoryEdgeStream([Edge(u, v) for u, v in edge_pairs])
+    return partitioner.partition_stream(stream)
+
+
+def _expected_triples(result):
+    return sorted([e.u, e.v, p] for e, p in result.assignments.items())
+
+
+class TestProtocol:
+    def test_ping_and_unknown_op(self, daemon):
+        port, _, _ = daemon
+        with ServiceClient(port=port) as client:
+            assert client.ping()["pong"] is True
+            with pytest.raises(ServiceError, match="unknown op"):
+                client.request({"op": "frobnicate"})
+
+    def test_unknown_tenant_and_duplicate_open(self, daemon):
+        port, _, _ = daemon
+        with ServiceClient(port=port) as client:
+            with pytest.raises(ServiceError, match="unknown tenant"):
+                client.stats("ghost")
+            client.open("t", algorithm="hdrf", partitions=4)
+            with pytest.raises(ServiceError, match="already exists"):
+                client.open("t", algorithm="hdrf", partitions=4)
+            with pytest.raises(ServiceError):
+                client.open("../escape", algorithm="hdrf", partitions=4)
+
+    def test_max_tenants_enforced(self, daemon):
+        port, _, _ = daemon
+        with ServiceClient(port=port) as client:
+            for i in range(4):
+                client.open(f"t{i}", algorithm="dbh", partitions=2)
+            with pytest.raises(ServiceError, match="tenant limit"):
+                client.open("overflow", algorithm="dbh", partitions=2)
+            client.close_tenant("t0")
+            client.open("overflow", algorithm="dbh", partitions=2)
+
+    def test_bad_knobs_reported_not_fatal(self, daemon):
+        port, _, _ = daemon
+        with ServiceClient(port=port) as client:
+            with pytest.raises(ServiceError, match="bad knobs"):
+                client.open("t", algorithm="hdrf", partitions=4,
+                            bogus_knob=1)
+            assert client.ping()["pong"] is True  # daemon survived
+
+
+class TestMultiTenantParity:
+    def test_interleaved_tenants_bit_identical(self, daemon):
+        """Two algorithms, batches interleaved on one connection: each
+        tenant's final result equals its local batch reference."""
+        port, _, _ = daemon
+        with ServiceClient(port=port) as client:
+            client.open("alice", algorithm="adwise", partitions=8,
+                        expected_edges=len(EDGES),
+                        latency_preference_ms=50.0)
+            client.open("bob", algorithm="hdrf", partitions=4)
+            pending_a, pending_b = [], []
+            for start in range(0, len(EDGES), 100):
+                batch = EDGES[start:start + 100]
+                pending_a.append(client.ingest_async("alice", batch))
+                pending_b.append(client.ingest_async("bob", batch))
+            client.drain(pending_a)
+            client.drain(pending_b)
+            alice = client.finalize("alice")
+            bob = client.finalize("bob")
+
+        ref_alice = _reference(AdwisePartitioner, 8, EDGES,
+                               latency_preference_ms=50.0)
+        ref_bob = _reference(HDRFPartitioner, 4, EDGES)
+        assert alice["assignments"] == _expected_triples(ref_alice)
+        assert bob["assignments"] == _expected_triples(ref_bob)
+        assert alice["latency_ms"] == ref_alice.latency_ms
+        assert alice["replication_degree"] == pytest.approx(
+            ref_alice.replication_degree)
+
+    def test_concurrent_connections(self, daemon):
+        """One connection per tenant, driven from separate threads."""
+        port, _, _ = daemon
+        results = {}
+
+        def drive(name, algorithm, partitions):
+            with ServiceClient(port=port) as client:
+                client.open(name, algorithm=algorithm,
+                            partitions=partitions)
+                for start in range(0, len(EDGES), 64):
+                    client.ingest(name, EDGES[start:start + 64])
+                results[name] = client.finalize(name)
+
+        workers = [
+            threading.Thread(target=drive, args=("w1", "hdrf", 4)),
+            threading.Thread(target=drive, args=("w2", "dbh", 6)),
+        ]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join(30)
+        assert results["w1"]["assignments"] == _expected_triples(
+            _reference(HDRFPartitioner, 4, EDGES))
+        from repro.partitioning.dbh import DBHPartitioner
+        assert results["w2"]["assignments"] == _expected_triples(
+            _reference(DBHPartitioner, 6, EDGES))
+
+    def test_query_and_audit(self, daemon):
+        port, _, _ = daemon
+        with ServiceClient(port=port) as client:
+            client.open("t", algorithm="hdrf", partitions=4)
+            triples = client.ingest("t", EDGES[:50])
+            u, v, p = triples[0]
+            assert client.query_edge("t", u, v) == p
+            assert p in client.query_vertex("t", u)
+            audit = client.audit("t", limit=10)
+            assert len(audit["decisions"]) == 10
+            assert audit["decisions"][-1]["seq"] == 49
+            stats = client.stats("t")
+            assert stats["session"]["edges_ingested"] == 50
+            assert stats["metrics"]["batches"] == 1
+            assert stats["audit"]["recorded"] == 50
+
+    def test_backpressure_queue_bound(self, daemon):
+        """More pipelined batches than queue_depth=4: all are served
+        (the bounded queue suspends the feeder, drops nothing)."""
+        port, _, _ = daemon
+        with ServiceClient(port=port) as client:
+            client.open("t", algorithm="dbh", partitions=4)
+            pending = [client.ingest_async("t", EDGES[i:i + 10])
+                       for i in range(0, 400, 10)]
+            assignments = client.drain(pending)
+            assert len(assignments) == len(EDGES[:400])
+            stats = client.stats("t")
+            assert stats["metrics"]["batches"] == 40
+            assert stats["metrics"]["queue_high_water"] >= 1
+
+
+class TestDurability:
+    def test_shutdown_snapshot_restart_bit_identical(self, daemon):
+        """Feed half a stream, shutdown (snapshots to disk), boot a new
+        daemon over the same directory, feed the rest: the final result
+        is bit-identical to an uninterrupted local batch run."""
+        port, snapshot_dir, boot = daemon
+        cut = 600
+        with ServiceClient(port=port) as client:
+            client.open("t", algorithm="adwise", partitions=8,
+                        expected_edges=len(EDGES),
+                        latency_preference_ms=50.0)
+            for start in range(0, cut, 64):
+                client.ingest("t", EDGES[start:min(start + 64, cut)])
+            report = client.shutdown()
+        assert report["snapshots"] == ["t"]
+
+        port2 = boot()
+        with ServiceClient(port=port2) as client:
+            tenants = client.tenants()
+            assert [t["tenant"] for t in tenants] == ["t"]
+            assert tenants[0]["edges_ingested"] == cut
+            for start in range(cut, len(EDGES), 64):
+                client.ingest("t", EDGES[start:start + 64])
+            final = client.finalize("t")
+            client.shutdown()
+
+        reference = _reference(AdwisePartitioner, 8, EDGES,
+                               latency_preference_ms=50.0)
+        assert final["assignments"] == _expected_triples(reference)
+        assert final["latency_ms"] == reference.latency_ms
+        assert final["extras"] == reference.extras
+
+    def test_snapshot_op_keeps_tenant_live(self, daemon):
+        port, snapshot_dir, _ = daemon
+        import os
+        with ServiceClient(port=port) as client:
+            client.open("t", algorithm="hdrf", partitions=4)
+            client.ingest("t", EDGES[:100])
+            response = client.snapshot("t")
+            assert os.path.isfile(response["path"])
+            client.ingest("t", EDGES[100:200])  # still live
+            assert (client.stats("t")["session"]["edges_ingested"]
+                    == 200)
