@@ -36,10 +36,12 @@ import json
 import math
 import os
 import sys
+import tempfile
+import time
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), os.pardir, "src"))
 
-from repro.cluster import ClusterEngine                           # noqa: E402
+from repro.cluster import ClusterEngine, FaultInjector, Kill      # noqa: E402
 from repro.core.adwise import AdwisePartitioner                   # noqa: E402
 from repro.engine.algorithms import (                             # noqa: E402
     ConnectedComponents,
@@ -61,6 +63,11 @@ FULL_GATES = {"PageRank": 1.05, "Components": 1.0}
 
 #: Scaling smoke: process-backend worker counts that must reach parity.
 SCALING_WORKERS = (2, 4)
+
+#: --faults: checkpoint interval and ceiling on checkpoint overhead
+#: (time spent capturing/persisting checkpoints vs. the whole run).
+CHECKPOINT_EVERY = 8
+CHECKPOINT_OVERHEAD_GATE_PCT = 10.0
 
 
 def build_workload(smoke: bool):
@@ -153,7 +160,68 @@ def measure_cluster(sharded, factory, max_supersteps, repeats,
     return engine, best_report, best_seconds
 
 
-def run(smoke: bool, repeats: int):
+def run_faults(sharded, iterations, repeats):
+    """Fault-tolerance costs: checkpoint overhead % and recovery time.
+
+    Overhead is time spent capturing + persisting checkpoints relative
+    to the superstep loop (best ratio over ``repeats``, disk-backed so
+    the measurement is honest).  Recovery kills a real process-backend
+    worker mid-run and measures the rollback (teardown + respawn +
+    restore) plus the supersteps it must replay; the recovered states
+    must still match the unfaulted serial run bit-for-bit.
+    """
+    factory = lambda: PageRank(iterations=iterations)  # noqa: E731
+    max_supersteps = iterations + 2
+    _, serial_report, _ = measure_cluster(
+        sharded, factory, max_supersteps, repeats)
+
+    best = None
+    with tempfile.TemporaryDirectory() as directory:
+        for index in range(repeats):
+            engine = ClusterEngine(
+                sharded, checkpoint_every=CHECKPOINT_EVERY,
+                checkpoint_dir=os.path.join(directory, str(index)))
+            started = time.perf_counter()
+            report = engine.run(factory(), max_supersteps=max_supersteps)
+            run_ms = (time.perf_counter() - started) * 1000.0
+            overhead = 100.0 * report.checkpoint_wall_ms / run_ms
+            if best is None or overhead < best[0]:
+                best = (overhead, run_ms, report)
+    overhead_pct, run_wall_ms, checkpointed = best
+
+    recovery = None
+    for _ in range(repeats):
+        injector = FaultInjector([Kill(superstep=CHECKPOINT_EVERY + 1,
+                                       point="pre-gather", machine=1)])
+        engine = ClusterEngine(sharded, backend="process", num_workers=2,
+                               checkpoint_every=CHECKPOINT_EVERY,
+                               fault_injector=injector)
+        report = engine.run(factory(), max_supersteps=max_supersteps)
+        event = report.recoveries[0]
+        if recovery is None or event.wall_ms < recovery["recovery_wall_ms"]:
+            recovery = {
+                "recovery_wall_ms": event.wall_ms,
+                "supersteps_lost": event.supersteps_lost,
+                "replay_wall_ms": sum(
+                    t.wall_ms for t in report.telemetry
+                    if event.resumed_from <= t.superstep
+                    < event.superstep_detected),
+                "recovery_parity": states_match(
+                    serial_report.states, report.states, float_state=True),
+            }
+
+    return {
+        "checkpoint_every": CHECKPOINT_EVERY,
+        "checkpoints_written": checkpointed.checkpoints_written,
+        "checkpoint_wall_ms": checkpointed.checkpoint_wall_ms,
+        "run_wall_ms": run_wall_ms,
+        "checkpoint_overhead_pct": overhead_pct,
+        "checkpoint_overhead_gate_pct": CHECKPOINT_OVERHEAD_GATE_PCT,
+        **recovery,
+    }
+
+
+def run(smoke: bool, repeats: int, faults: bool = False):
     workload, graph, iterations = build_workload(smoke)
     sharded, replication = partition_both(graph)
     rows = []
@@ -187,7 +255,7 @@ def run(smoke: bool, repeats: int):
             "parity": parity,
         })
     scaling = run_scaling(sharded["adwise"], graph, iterations, repeats)
-    return {
+    report = {
         "workload": workload,
         "smoke": smoke,
         "num_vertices": graph.num_vertices,
@@ -199,6 +267,9 @@ def run(smoke: bool, repeats: int):
         "results": rows,
         "scaling": scaling,
     }
+    if faults:
+        report["faults"] = run_faults(sharded["adwise"], iterations, repeats)
+    return report
 
 
 def run_scaling(sharded, graph, iterations, repeats):
@@ -257,6 +328,21 @@ def format_report(report) -> str:
         lines.append(
             f"{label:<28} {row['wall_ms']:>9.1f} {row['eps']:>12.0f} "
             f"{'ok' if row['parity'] else 'FAIL':>7}")
+    faults = report.get("faults")
+    if faults:
+        lines.append("")
+        lines.append(
+            f"fault tolerance (every {faults['checkpoint_every']} "
+            f"supersteps): checkpoint overhead "
+            f"{faults['checkpoint_overhead_pct']:.2f}% "
+            f"({faults['checkpoints_written']} checkpoints, "
+            f"{faults['checkpoint_wall_ms']:.1f} ms of a "
+            f"{faults['run_wall_ms']:.1f} ms run)")
+        lines.append(
+            f"  recovery: rollback {faults['recovery_wall_ms']:.1f} ms + "
+            f"replay of {faults['supersteps_lost']} supersteps "
+            f"({faults['replay_wall_ms']:.1f} ms), parity "
+            f"{'ok' if faults['recovery_parity'] else 'FAIL'}")
     return "\n".join(lines)
 
 
@@ -284,6 +370,18 @@ def check(report) -> list:
             problems.append(
                 f"scaling {row['backend']} x{row['workers']}: "
                 f"state parity with serial broken")
+    faults = report.get("faults")
+    if faults:
+        gate = faults["checkpoint_overhead_gate_pct"]
+        if faults["checkpoint_overhead_pct"] > gate:
+            problems.append(
+                f"faults: checkpoint overhead "
+                f"{faults['checkpoint_overhead_pct']:.2f}% above "
+                f"gate {gate:.1f}%")
+        if not faults["recovery_parity"]:
+            problems.append(
+                "faults: recovered states diverge from the unfaulted "
+                "serial run")
     return problems
 
 
@@ -296,12 +394,15 @@ def main(argv=None) -> int:
     parser.add_argument("--repeats", type=int, default=2,
                         help="wall-clock repeats per configuration "
                              "(best-of)")
+    parser.add_argument("--faults", action="store_true",
+                        help="also measure checkpoint overhead %% and "
+                             "kill-a-worker recovery time (gated)")
     parser.add_argument("--out", help="write the report as JSON")
     args = parser.parse_args(argv)
     if args.repeats < 1:
         parser.error("--repeats must be >= 1")
 
-    report = run(smoke=args.smoke, repeats=args.repeats)
+    report = run(smoke=args.smoke, repeats=args.repeats, faults=args.faults)
     print(format_report(report))
     if args.out:
         with open(args.out, "w", encoding="utf-8") as handle:

@@ -91,7 +91,9 @@ from repro.engine import (
 )
 from repro.cluster import (
     ClusterEngine,
+    ClusterError,
     ClusterReport,
+    FaultInjector,
     ShardedGraph,
 )
 from repro.simtime import SimulatedClock, WallClock
@@ -159,7 +161,9 @@ __all__ = [
     "SimulationReport",
     "VertexProgram",
     "ClusterEngine",
+    "ClusterError",
     "ClusterReport",
+    "FaultInjector",
     "ShardedGraph",
     "SimulatedClock",
     "WallClock",

@@ -123,6 +123,22 @@ def build_parser() -> argparse.ArgumentParser:
                        help="directory for graceful-shutdown snapshots; "
                             "restored on the next start")
 
+    resume = sub.add_parser(
+        "resume",
+        help="restart an interrupted --cluster run from its "
+             "--checkpoint-dir (last consistent superstep boundary)")
+    resume.add_argument("checkpoint_dir",
+                        help="directory a previous run checkpointed into")
+    resume.add_argument("--cluster-backend", choices=["serial", "process"],
+                        default=None,
+                        help="override the original run's backend")
+    resume.add_argument("--workers", type=int, default=None,
+                        help="override worker count (process backend; the "
+                             "checkpoint is keyed by partition, so any "
+                             "layout can resume it)")
+    resume.add_argument("--max-supersteps", type=int, default=None,
+                        help="override the original superstep budget")
+
     client = sub.add_parser(
         "client",
         help="stream an edge-list file into a running daemon "
@@ -179,6 +195,18 @@ def _add_processing_arguments(parser: argparse.ArgumentParser) -> None:
                         help="worker processes for --cluster-backend "
                              "process (default: one per partition, "
                              "capped at the CPU count)")
+    parser.add_argument("--checkpoint-every", type=int, default=None,
+                        help="with --cluster: checkpoint shard state every "
+                             "N supersteps, enabling rollback recovery "
+                             "from worker deaths")
+    parser.add_argument("--checkpoint-dir", default=None,
+                        help="with --checkpoint-every: persist checkpoints "
+                             "here so an interrupted run can be restarted "
+                             "with `adwise resume`")
+    parser.add_argument("--heartbeat-timeout", type=float, default=None,
+                        help="with --cluster-backend process: per-reply "
+                             "bound in seconds before a wedged worker is "
+                             "declared dead (default 30)")
 
 
 #: Algorithms whose constructors take the ``fast`` state flag.
@@ -290,7 +318,75 @@ def _validate_processing_flags(args: argparse.Namespace) -> Optional[str]:
             and cluster_backend == "process"):
         return ("--machines does not apply to --cluster-backend process "
                 "(machines are the workers; pass --workers)")
+    if args.checkpoint_every is not None:
+        if not args.cluster:
+            return "--checkpoint-every only applies with --cluster"
+        if args.checkpoint_every < 1:
+            return "--checkpoint-every must be >= 1"
+    if args.checkpoint_dir is not None and args.checkpoint_every is None:
+        return "--checkpoint-dir requires --checkpoint-every"
+    if args.heartbeat_timeout is not None:
+        if not (args.cluster and cluster_backend == "process"):
+            return ("--heartbeat-timeout only applies to --cluster "
+                    "--cluster-backend process")
+        if args.heartbeat_timeout <= 0:
+            return "--heartbeat-timeout must be positive"
     return None
+
+
+def _print_cluster_report(report, stats) -> None:
+    print(f"workload:            {report.algorithm}")
+    print(f"execution:           cluster ({report.backend}, "
+          f"{report.num_shards} shards, {report.num_machines} "
+          f"machines{'' if report.sharded else ', unsharded fallback'})")
+    print(f"supersteps:          {report.supersteps}")
+    print(f"converged:           {report.converged}")
+    print(f"messages sent:       {report.messages_sent}")
+    print(f"simulated latency:   {report.latency_ms:.2f} ms")
+    print(f"measured wall:       {report.wall_ms_total:.2f} ms")
+    if report.sharded:
+        print(f"sync messages:       "
+              f"{report.remote_sync_messages} remote + "
+              f"{report.local_sync_messages} local "
+              f"({report.sync_payload_bytes} payload bytes)")
+    if report.checkpoints_written:
+        print(f"checkpoints:         {report.checkpoints_written} "
+              f"({report.checkpoint_wall_ms:.2f} ms)")
+    for event in report.recoveries:
+        print(f"recovery:            machine {event.machine} died at "
+              f"superstep {event.superstep_detected} ({event.reason}); "
+              f"replayed {event.supersteps_lost} supersteps from "
+              f"{event.resumed_from} in {event.wall_ms:.2f} ms")
+    if stats is not None:
+        print(f"replication degree:  {stats.replication_degree:.4f}")
+
+
+def _run_resume(args: argparse.Namespace) -> int:
+    from repro.cluster import ClusterEngine, ClusterError
+
+    if args.workers is not None and args.workers < 1:
+        print("error: --workers must be >= 1", file=sys.stderr)
+        return 2
+    if args.max_supersteps is not None and args.max_supersteps < 1:
+        print("error: --max-supersteps must be >= 1", file=sys.stderr)
+        return 2
+    if (args.workers is not None
+            and args.cluster_backend not in (None, "process")):
+        print("error: --workers only applies to --cluster-backend process",
+              file=sys.stderr)
+        return 2
+    try:
+        report = ClusterEngine.resume(
+            args.checkpoint_dir,
+            backend=args.cluster_backend,
+            num_workers=args.workers,
+            max_supersteps=args.max_supersteps)
+    except (ClusterError, FileNotFoundError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(f"resumed from:        {args.checkpoint_dir}")
+    _print_cluster_report(report, None)
+    return 0
 
 
 def _execute_processing(graph, assignments, partitions,
@@ -320,36 +416,29 @@ def _execute_processing(graph, assignments, partitions,
     mode = args.mode if args.mode is not None else "dense"
 
     if args.cluster:
-        from repro.cluster import ClusterEngine
+        from repro.cluster import ClusterEngine, ClusterError
         from repro.graph.shard import ShardedGraph
 
         sharded = ShardedGraph.from_assignments(
             assignments, partitions=partitions,
             vertices=graph.vertices())
+        kwargs: dict = {"checkpoint_every": args.checkpoint_every,
+                        "checkpoint_dir": args.checkpoint_dir}
         if (args.cluster_backend or "serial") == "process":
+            if args.heartbeat_timeout is not None:
+                kwargs["heartbeat_timeout"] = args.heartbeat_timeout
             engine = ClusterEngine(sharded, cost_model,
                                    backend="process",
-                                   num_workers=args.workers)
+                                   num_workers=args.workers, **kwargs)
         else:
             engine = ClusterEngine(sharded, cost_model, backend="serial",
-                                   num_machines=machines)
-        report = engine.run(program, max_supersteps=max_supersteps)
-        stats = engine.placement.stats()
-        print(f"workload:            {report.algorithm}")
-        print(f"execution:           cluster ({report.backend}, "
-              f"{report.num_shards} shards, {report.num_machines} "
-              f"machines{'' if report.sharded else ', unsharded fallback'})")
-        print(f"supersteps:          {report.supersteps}")
-        print(f"converged:           {report.converged}")
-        print(f"messages sent:       {report.messages_sent}")
-        print(f"simulated latency:   {report.latency_ms:.2f} ms")
-        print(f"measured wall:       {report.wall_ms_total:.2f} ms")
-        if report.sharded:
-            print(f"sync messages:       "
-                  f"{report.remote_sync_messages} remote + "
-                  f"{report.local_sync_messages} local "
-                  f"({report.sync_payload_bytes} payload bytes)")
-        print(f"replication degree:  {stats.replication_degree:.4f}")
+                                   num_machines=machines, **kwargs)
+        try:
+            report = engine.run(program, max_supersteps=max_supersteps)
+        except ClusterError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        _print_cluster_report(report, engine.placement.stats())
         return 0
 
     placement = Placement(assignments, partitions,
@@ -528,6 +617,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _run_process(args)
     if args.command == "pipeline":
         return _run_pipeline(args)
+    if args.command == "resume":
+        return _run_resume(args)
     if args.command == "serve":
         return _run_serve(args)
     if args.command == "client":

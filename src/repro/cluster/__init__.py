@@ -10,9 +10,30 @@ with gather-to-master / scatter-to-mirrors replica synchronisation
 between supersteps — in-process (``serial``) or across worker OS
 processes (``process``) — while measuring wall-clock and the actual
 remote/local sync traffic next to the simulated latency.
+
+The runtime is fault-tolerant and elastic: ``checkpoint_every`` enables
+shard-level checkpoints (:mod:`repro.cluster.checkpoint`) and rollback
+recovery from worker deaths — detected by bounded waits or injected
+deterministically by a :class:`FaultInjector`
+(:mod:`repro.cluster.faults`) — and ``ClusterEngine.rebalance`` /
+``run(..., rebalance_at=...)`` migrate live shard state onto a new
+machine layout.
 """
 
+from repro.cluster.checkpoint import (
+    CheckpointState,
+    CheckpointStore,
+    RecoveryEvent,
+)
+from repro.cluster.faults import (
+    INJECTION_POINTS,
+    ClusterError,
+    FaultInjector,
+    Kill,
+    WorkerDied,
+)
 from repro.cluster.runtime import (
+    ON_FAILURE,
     ClusterEngine,
     ClusterReport,
     SuperstepTelemetry,
@@ -27,13 +48,22 @@ from repro.graph.shard import Shard, ShardCSR, ShardedGraph
 
 __all__ = [
     "BACKENDS",
+    "INJECTION_POINTS",
+    "ON_FAILURE",
+    "CheckpointState",
+    "CheckpointStore",
     "ClusterEngine",
+    "ClusterError",
     "ClusterReport",
+    "FaultInjector",
+    "Kill",
     "ProcessTransport",
+    "RecoveryEvent",
     "SerialTransport",
     "Shard",
     "ShardCSR",
     "ShardedGraph",
     "SuperstepTelemetry",
     "SyncStats",
+    "WorkerDied",
 ]

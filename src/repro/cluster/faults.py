@@ -1,0 +1,129 @@
+"""Failure model and deterministic fault injection for the cluster runtime.
+
+The paper's distributed setting assumes machines that fail and rejoin
+mid-computation; this module gives the runtime a *named* failure model so
+recovery can be tested as a CI-gated property instead of hoped for:
+
+* :class:`ClusterError` / :class:`WorkerDied` — the runtime's failure
+  vocabulary.  Every bounded wait in
+  :class:`~repro.cluster.transport.ProcessTransport` raises
+  :class:`WorkerDied` carrying the dead machine's id instead of hanging
+  on a pipe, whether the worker was SIGKILLed from outside or killed by
+  an injector.
+* :data:`INJECTION_POINTS` — the catalog of superstep positions where a
+  machine may be killed.  The points bracket the replica-sync exchange
+  (the only moment shards hold mutually inconsistent partial state), so
+  together they cover every distinct crash consistency class one BSP
+  superstep has:
+
+  - ``pre-gather``  — shard kernels have stepped, partial per-target
+    combinations exist locally, nothing has been exchanged;
+  - ``mid-scatter`` — mirror partials were folded at the masters, but
+    the combined slices have not been broadcast back;
+  - ``post-apply``  — the superstep fully committed; the crash lands
+    between the commit and the next checkpoint decision.
+
+* :class:`FaultInjector` — a deterministic (optionally seeded) kill
+  schedule.  The transports consult it at each injection point and
+  SIGKILL (process backend) or mark dead (serial backend) the named
+  machine.  A schedule entry fires **once**: replayed supersteps after a
+  recovery run unfaulted, so any schedule terminates.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+#: Superstep positions where a fault may be injected, in execution order.
+INJECTION_POINTS: Tuple[str, ...] = ("pre-gather", "mid-scatter",
+                                     "post-apply")
+
+
+class ClusterError(RuntimeError):
+    """A cluster run failed in a way the runtime could not recover from."""
+
+
+class WorkerDied(ClusterError):
+    """A specific machine stopped responding (crash, SIGKILL, timeout).
+
+    Raised by the transports' bounded waits; the engine's recovery layer
+    catches it and rolls back to the last checkpoint when recovery is
+    enabled, otherwise it propagates to the caller — an error with the
+    dead machine's id, never a silent hang.
+    """
+
+    def __init__(self, machine: int, reason: str) -> None:
+        super().__init__(f"cluster machine {machine} died: {reason}")
+        self.machine = machine
+        self.reason = reason
+
+
+@dataclass(frozen=True)
+class Kill:
+    """Kill ``machine`` when superstep ``superstep`` reaches ``point``.
+
+    ``mid-scatter`` only exists on syncing supersteps (a superstep with
+    no replica exchange has no scatter to interrupt); an entry aimed at a
+    non-syncing superstep's scatter simply never fires.
+    """
+
+    superstep: int
+    point: str
+    machine: int
+
+    def __post_init__(self) -> None:
+        if self.point not in INJECTION_POINTS:
+            raise ValueError(
+                f"unknown injection point {self.point!r} "
+                f"(choose from {INJECTION_POINTS})")
+        if self.superstep < 0:
+            raise ValueError("superstep must be >= 0")
+
+
+class FaultInjector:
+    """A deterministic kill schedule consulted at every injection point.
+
+    The schedule is fixed at construction (explicitly, or drawn from a
+    seeded RNG by :meth:`random`), so a faulted run is exactly
+    reproducible.  Entries are consumed when they fire — ``fired`` keeps
+    the audit trail — which guarantees the post-recovery replay of the
+    same superstep runs clean.
+    """
+
+    def __init__(self, kills: Iterable[Kill] = ()) -> None:
+        self._pending: List[Kill] = list(kills)
+        for kill in self._pending:
+            if not isinstance(kill, Kill):
+                raise TypeError(f"expected Kill, got {type(kill).__name__}")
+        #: Entries that have fired, in firing order.
+        self.fired: List[Kill] = []
+
+    @classmethod
+    def random(cls, seed: int, num_machines: int, kills: int = 1,
+               max_superstep: int = 6,
+               points: Sequence[str] = INJECTION_POINTS) -> "FaultInjector":
+        """A seeded random schedule of ``kills`` kill events."""
+        if num_machines < 1:
+            raise ValueError("num_machines must be >= 1")
+        rng = random.Random(seed)
+        schedule = [Kill(superstep=rng.randint(0, max_superstep),
+                         point=rng.choice(list(points)),
+                         machine=rng.randrange(num_machines))
+                    for _ in range(kills)]
+        return cls(schedule)
+
+    @property
+    def pending(self) -> Tuple[Kill, ...]:
+        return tuple(self._pending)
+
+    def check(self, point: str, superstep: int) -> Optional[int]:
+        """Machine to kill at ``(point, superstep)``, consuming the entry
+        (``None`` when the schedule has nothing here)."""
+        for index, kill in enumerate(self._pending):
+            if kill.point == point and kill.superstep == superstep:
+                self._pending.pop(index)
+                self.fired.append(kill)
+                return kill.machine
+        return None

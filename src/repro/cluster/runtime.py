@@ -26,6 +26,26 @@ on the **fallback path**: the unsharded :class:`~repro.engine.runtime.
 Engine` over the reassembled graph, still wrapped in a
 :class:`ClusterReport` (with ``sharded=False`` and simulated-only
 traffic), so every workload runs through one entry point.
+
+Fault tolerance and elasticity
+------------------------------
+``ClusterEngine(checkpoint_every=N)`` turns the engine fault-tolerant:
+every N completed supersteps it captures a shard-level checkpoint (see
+:mod:`repro.cluster.checkpoint`) — per-partition kernel state plus the
+coordinator's superstep trail — and when a machine dies mid-superstep
+(detected by the transports' bounded waits, or killed deliberately by a
+:class:`~repro.cluster.faults.FaultInjector`) the engine rolls back:
+teardown, respawn (``on_failure="respawn"``) or redistribution of the
+dead machine's shards over the survivors (``"redistribute"``), state
+restore, and deterministic replay from the checkpoint boundary.  The
+invariant the differential test layer holds: a faulted-and-recovered run
+produces **bit-identical** states and aggregates to the unfaulted run.
+With ``checkpoint_dir`` set, checkpoints also persist to disk and
+:meth:`ClusterEngine.resume` restarts an interrupted run from the last
+consistent boundary.  :meth:`ClusterEngine.rebalance` (idle) and
+``run(..., rebalance_at=...)`` (live, at a superstep boundary) migrate
+shard state verbatim onto a new machine layout — the elastic join/leave
+path, built on the same snapshot/restore primitives.
 """
 
 from __future__ import annotations
@@ -35,6 +55,13 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Optional
 
+from repro.cluster.checkpoint import (
+    CheckpointState,
+    CheckpointStore,
+    RecoveryEvent,
+    capture_progress,
+)
+from repro.cluster.faults import ClusterError, FaultInjector, WorkerDied
 from repro.cluster.transport import (
     BACKENDS,
     ProcessTransport,
@@ -45,6 +72,10 @@ from repro.engine.cost import CostModel
 from repro.engine.runtime import Engine, SimulationReport
 from repro.engine.vertex_program import VertexProgram
 from repro.graph.shard import ShardedGraph
+
+#: Recovery policies for a dead machine: respawn the same layout, or
+#: redistribute its shards over the surviving machines.
+ON_FAILURE = ("respawn", "redistribute")
 
 
 @dataclass
@@ -79,6 +110,12 @@ class ClusterReport(SimulationReport):
     #: Total measured wall-clock of the superstep loop (milliseconds).
     wall_ms_total: float = 0.0
     telemetry: List[SuperstepTelemetry] = field(default_factory=list)
+    #: Failures detected and rolled back during this run, in order.
+    recoveries: List[RecoveryEvent] = field(default_factory=list)
+    #: Checkpoints captured (including the initial boundary-0 one).
+    checkpoints_written: int = 0
+    #: Wall-clock spent capturing/persisting checkpoints (milliseconds).
+    checkpoint_wall_ms: float = 0.0
 
     @property
     def remote_sync_messages(self) -> int:
@@ -116,6 +153,29 @@ class ClusterEngine:
         Serial backend only: the logical machine layout used to classify
         sync traffic remote vs. local (defaults to one machine per
         partition).  The process backend derives both from its workers.
+    checkpoint_every:
+        Capture a shard-level checkpoint every N completed supersteps
+        (plus one at boundary 0).  Enables crash recovery: a dead worker
+        rolls the run back to the last checkpoint and replays.  ``None``
+        (default) disables checkpointing *and* recovery — a worker death
+        then raises :class:`~repro.cluster.faults.ClusterError`.
+    checkpoint_dir:
+        Also persist checkpoints (and the run topology) to this
+        directory, enabling :meth:`resume`.  Requires
+        ``checkpoint_every``.
+    fault_injector:
+        Deterministic kill schedule for tests/benchmarks (see
+        :mod:`repro.cluster.faults`).
+    on_failure:
+        ``"respawn"`` (default) rebuilds the same machine layout;
+        ``"redistribute"`` reassigns the dead machine's partitions over
+        the survivors (elastic shrink) before replaying.
+    heartbeat_timeout:
+        Process backend: per-reply bound in seconds (liveness is probed
+        every poll interval regardless, so crash detection is fast; the
+        timeout only catches wedged-but-alive workers).
+    max_recoveries:
+        Give up with :class:`ClusterError` after this many rollbacks.
     """
 
     def __init__(self, sharded: ShardedGraph,
@@ -123,14 +183,37 @@ class ClusterEngine:
                  backend: str = "serial",
                  num_workers: Optional[int] = None,
                  num_machines: Optional[int] = None,
-                 machine_of_partition: Optional[Mapping[int, int]] = None
-                 ) -> None:
+                 machine_of_partition: Optional[Mapping[int, int]] = None,
+                 checkpoint_every: Optional[int] = None,
+                 checkpoint_dir: Optional[str] = None,
+                 fault_injector: Optional[FaultInjector] = None,
+                 on_failure: str = "respawn",
+                 heartbeat_timeout: float = ProcessTransport.DEFAULT_TIMEOUT,
+                 max_recoveries: int = 8) -> None:
         if backend not in BACKENDS:
             raise ValueError(
                 f"unknown backend {backend!r} (choose from {BACKENDS})")
+        if checkpoint_every is not None and checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be >= 1 (or None)")
+        if checkpoint_dir is not None and checkpoint_every is None:
+            raise ValueError("checkpoint_dir requires checkpoint_every")
+        if on_failure not in ON_FAILURE:
+            raise ValueError(
+                f"unknown on_failure {on_failure!r} "
+                f"(choose from {ON_FAILURE})")
+        if heartbeat_timeout <= 0:
+            raise ValueError("heartbeat_timeout must be positive")
+        if max_recoveries < 0:
+            raise ValueError("max_recoveries must be >= 0")
         self.sharded = sharded
         self.cost_model = cost_model if cost_model is not None else CostModel()
         self.backend = backend
+        self.checkpoint_every = checkpoint_every
+        self.checkpoint_dir = checkpoint_dir
+        self.fault_injector = fault_injector
+        self.on_failure = on_failure
+        self.heartbeat_timeout = heartbeat_timeout
+        self.max_recoveries = max_recoveries
         partitions = sharded.partitions
         if backend == "process":
             if num_machines is not None or machine_of_partition is not None:
@@ -162,36 +245,127 @@ class ClusterEngine:
                             else len(partitions))
                 self.machine_of = self._contiguous_map(partitions, machines)
                 self.num_machines = machines
-        self.placement = sharded.placement(
-            num_machines=self.num_machines,
-            machine_of_partition=self.machine_of)
-        self._stats = self.placement.stats()
+        self._refresh_placement()
 
     @staticmethod
     def _contiguous_map(partitions, num_machines) -> Dict[int, int]:
         from repro.engine.placement import Placement
         return Placement.contiguous_machine_map(partitions, num_machines)
 
+    def _refresh_placement(self) -> None:
+        self.placement = self.sharded.placement(
+            num_machines=self.num_machines,
+            machine_of_partition=self.machine_of)
+        self._stats = self.placement.stats()
+
+    @property
+    def _recovery_enabled(self) -> bool:
+        return self.checkpoint_every is not None
+
+    # ------------------------------------------------------------------
+    # Elastic re-sharding
+    # ------------------------------------------------------------------
+    def _set_machine_map(self, machine_of_partition: Mapping[int, int]
+                         ) -> None:
+        machine_of = {int(p): int(m)
+                      for p, m in machine_of_partition.items()}
+        missing = [p for p in self.sharded.partitions
+                   if p not in machine_of]
+        if missing:
+            raise ValueError(f"partitions without a machine: {missing}")
+        # Densify machine ids to 0..n-1 (the placement/cost layer indexes
+        # machines contiguously).  Order-preserving, so the grouping — the
+        # only thing that matters for traffic classification — survives,
+        # and master election is by partition id, so states are untouched.
+        dense = {m: i for i, m in enumerate(sorted(set(machine_of.values())))}
+        self.machine_of = {p: dense[m] for p, m in machine_of.items()}
+        self.num_machines = len(dense)
+        self._refresh_placement()
+
+    def rebalance(self, machine_of_partition: Mapping[int, int]) -> None:
+        """Adopt a new partition -> machine layout (machines joined or
+        left).  Takes effect on the next :meth:`run`; for a migration at
+        a live superstep boundary pass ``rebalance_at`` to :meth:`run`.
+        """
+        self._set_machine_map(machine_of_partition)
+
+    def _evict_machine(self, dead: int) -> None:
+        """Redistribute the dead machine's partitions over the survivors
+        (round-robin in partition order — deterministic)."""
+        survivors = sorted(set(self.machine_of.values()) - {dead})
+        if not survivors:
+            raise ClusterError(
+                f"machine {dead} died and no machines survive")
+        orphaned = sorted(p for p, m in self.machine_of.items()
+                          if m == dead)
+        remapped = dict(self.machine_of)
+        for index, partition in enumerate(orphaned):
+            remapped[partition] = survivors[index % len(survivors)]
+        self._set_machine_map(remapped)
+
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
     def run(self, program: VertexProgram,
-            max_supersteps: int = 100) -> ClusterReport:
-        """Execute ``program`` until convergence or ``max_supersteps``."""
+            max_supersteps: int = 100,
+            rebalance_at: Optional[Mapping[int, Mapping[int, int]]] = None
+            ) -> ClusterReport:
+        """Execute ``program`` until convergence or ``max_supersteps``.
+
+        ``rebalance_at`` maps superstep -> machine layout: when the loop
+        reaches that superstep boundary, live shard state is migrated
+        verbatim onto the new layout and execution continues (states are
+        unaffected; cost classification follows the new layout).
+        """
         if max_supersteps < 1:
             raise ValueError("max_supersteps must be >= 1")
         if not self._can_shard(program):
+            if rebalance_at:
+                raise ValueError(
+                    "rebalance_at requires sharded execution; "
+                    f"{program.name} runs on the unsharded fallback path")
             return self._run_fallback(program, max_supersteps)
-        if self.backend == "process":
-            transport = ProcessTransport(self.sharded, program,
-                                         self.machine_of)
-        else:
-            transport = SerialTransport(self.sharded, program,
-                                        self.machine_of)
-        try:
-            return self._run_sharded(program, transport, max_supersteps)
-        finally:
-            transport.close()
+        return self._run_sharded(program, max_supersteps,
+                                 rebalance_at=rebalance_at)
+
+    @classmethod
+    def resume(cls, checkpoint_dir: str,
+               backend: Optional[str] = None,
+               num_workers: Optional[int] = None,
+               max_supersteps: Optional[int] = None) -> ClusterReport:
+        """Restart an interrupted run from its last on-disk checkpoint.
+
+        Rebuilds the engine from ``topology.pkl`` (written by a run with
+        ``checkpoint_dir`` set), restores the latest consistent superstep
+        boundary, and runs to completion.  ``backend``/``num_workers``
+        override the original deployment — the checkpoint is keyed by
+        partition, so any layout can resume it.
+        """
+        store = CheckpointStore(checkpoint_dir, create=False)
+        topology = store.read_topology()
+        resolved_backend = topology["backend"] if backend is None else backend
+        engine = cls(topology["sharded"],
+                     cost_model=topology["cost_model"],
+                     backend=resolved_backend,
+                     num_workers=(num_workers
+                                  if resolved_backend == "process" else None),
+                     checkpoint_every=topology["checkpoint_every"],
+                     checkpoint_dir=checkpoint_dir,
+                     heartbeat_timeout=topology["heartbeat_timeout"])
+        checkpoint = store.latest()
+        if checkpoint is None:
+            raise ClusterError(f"no checkpoint found in {checkpoint_dir}")
+        if checkpoint.fingerprint != engine.sharded.fingerprint():
+            raise ClusterError(
+                "checkpoint does not match the sharded graph in "
+                f"{checkpoint_dir}")
+        if backend is None and num_workers is None:
+            engine._set_machine_map(topology["machine_of"])
+        return engine._run_sharded(
+            topology["program"],
+            max_supersteps if max_supersteps is not None
+            else topology["max_supersteps"],
+            start=checkpoint)
 
     def _can_shard(self, program: VertexProgram) -> bool:
         if not getattr(program, "shardable", False):
@@ -202,52 +376,188 @@ class ClusterEngine:
         first = self.sharded.shards[self.sharded.partitions[0]]
         return program.dense_kernel(first.csr) is not None
 
-    def _run_sharded(self, program: VertexProgram, transport,
-                     max_supersteps: int) -> ClusterReport:
+    def _make_transport(self, program: VertexProgram):
+        if self.backend == "process":
+            return ProcessTransport(self.sharded, program, self.machine_of,
+                                    timeout=self.heartbeat_timeout)
+        return SerialTransport(self.sharded, program, self.machine_of)
+
+    def _capture(self, transport, cursor: int, costs, aggregates,
+                 telemetry, total_messages: int) -> CheckpointState:
+        return CheckpointState(
+            cursor=cursor,
+            shard_states=transport.snapshot(),
+            progress=capture_progress(costs, aggregates, telemetry,
+                                      total_messages),
+            fingerprint=self.sharded.fingerprint())
+
+    def _topology(self, program: VertexProgram,
+                  max_supersteps: int) -> Dict[str, Any]:
+        return {"sharded": self.sharded,
+                "machine_of": dict(self.machine_of),
+                "num_machines": self.num_machines,
+                "backend": self.backend,
+                "cost_model": self.cost_model,
+                "program": program,
+                "max_supersteps": max_supersteps,
+                "checkpoint_every": self.checkpoint_every,
+                "heartbeat_timeout": self.heartbeat_timeout,
+                "fingerprint": self.sharded.fingerprint()}
+
+    def _migrate(self, transport, program: VertexProgram,
+                 machine_map: Mapping[int, int]):
+        """Verbatim live-state migration onto a new machine layout."""
+        live = transport.snapshot()
+        transport.close()
+        self._set_machine_map(machine_map)
+        replacement = self._make_transport(program)
+        try:
+            replacement.restore(live)
+        except WorkerDied:
+            replacement.close()
+            raise
+        return replacement
+
+    def _run_sharded(self, program: VertexProgram, max_supersteps: int,
+                     start: Optional[CheckpointState] = None,
+                     rebalance_at: Optional[
+                         Mapping[int, Mapping[int, int]]] = None
+                     ) -> ClusterReport:
         """Mirror of ``Engine._run_dense``'s loop, with the per-superstep
-        work fanned out to the shards and measured on the way through."""
+        work fanned out to the shards, measured on the way through, and —
+        when checkpointing is on — wrapped in rollback recovery."""
         num_vertices = self.sharded.num_vertices
-        costs = []
+        costs: List[Any] = []
         aggregates: List[Any] = []
         telemetry: List[SuperstepTelemetry] = []
         total_messages = 0
+        recoveries: List[RecoveryEvent] = []
+        checkpoints_written = 0
+        checkpoint_wall_ms = 0.0
+        pending_rebalance = dict(rebalance_at or {})
         converged = False
         superstep = 0
-        while superstep < max_supersteps:
-            computed = transport.compute_owned()
-            if computed == 0:
-                converged = True
-                break
-            start = time.perf_counter()
-            result = transport.step(superstep)
-            wall_ms = (time.perf_counter() - start) * 1000.0
-            active_fraction = (computed / num_vertices
-                               if num_vertices else 0.0)
-            costs.append(self.cost_model.superstep_cost(
-                self._stats, active_fraction))
-            aggregates.append(result.aggregate)
-            total_messages += result.sent
-            stats: SyncStats = result.stats
-            telemetry.append(SuperstepTelemetry(
-                superstep=superstep,
-                computed=computed,
-                active_fraction=active_fraction,
-                wall_ms=wall_ms,
-                compute_ms=result.compute_seconds * 1000.0,
-                synced=result.synced,
-                remote_messages=stats.remote_messages,
-                local_messages=stats.local_messages,
-                payload_bytes=stats.payload_bytes,
-                remote_per_machine=dict(stats.remote_per_machine),
-                local_per_machine=dict(stats.local_per_machine),
-            ))
-            superstep += 1
-            if program.should_stop(result.aggregate, superstep):
-                converged = True
-                break
-        else:
-            converged = transport.compute_owned() == 0
-        states = transport.states()
+        store = (CheckpointStore(self.checkpoint_dir)
+                 if self.checkpoint_dir else None)
+        last_checkpoint = start
+        transport = self._make_transport(program)
+        initialized = False
+        try:
+            while True:
+                try:
+                    if not initialized:
+                        if start is not None:
+                            transport.restore(start.shard_states)
+                            superstep = start.cursor
+                            self._install_progress(start, costs,
+                                                   aggregates, telemetry)
+                            total_messages = start.progress["messages"]
+                        elif self._recovery_enabled:
+                            if store is not None:
+                                store.write_topology(
+                                    self._topology(program, max_supersteps))
+                            checkpoint_start = time.perf_counter()
+                            last_checkpoint = self._capture(
+                                transport, 0, costs, aggregates, telemetry,
+                                total_messages)
+                            if store is not None:
+                                store.write(last_checkpoint)
+                            checkpoints_written += 1
+                            checkpoint_wall_ms += (
+                                time.perf_counter() - checkpoint_start
+                            ) * 1000.0
+                        initialized = True
+                    while superstep < max_supersteps:
+                        if superstep in pending_rebalance:
+                            transport = self._migrate(
+                                transport, program,
+                                pending_rebalance.pop(superstep))
+                        computed = transport.compute_owned()
+                        if computed == 0:
+                            converged = True
+                            break
+                        step_start = time.perf_counter()
+                        result = transport.step(superstep,
+                                                self.fault_injector)
+                        wall_ms = (time.perf_counter() - step_start) * 1000.0
+                        active_fraction = (computed / num_vertices
+                                           if num_vertices else 0.0)
+                        costs.append(self.cost_model.superstep_cost(
+                            self._stats, active_fraction))
+                        aggregates.append(result.aggregate)
+                        total_messages += result.sent
+                        stats: SyncStats = result.stats
+                        telemetry.append(SuperstepTelemetry(
+                            superstep=superstep,
+                            computed=computed,
+                            active_fraction=active_fraction,
+                            wall_ms=wall_ms,
+                            compute_ms=result.compute_seconds * 1000.0,
+                            synced=result.synced,
+                            remote_messages=stats.remote_messages,
+                            local_messages=stats.local_messages,
+                            payload_bytes=stats.payload_bytes,
+                            remote_per_machine=dict(stats.remote_per_machine),
+                            local_per_machine=dict(stats.local_per_machine),
+                        ))
+                        superstep += 1
+                        if (self.checkpoint_every is not None
+                                and superstep % self.checkpoint_every == 0):
+                            checkpoint_start = time.perf_counter()
+                            last_checkpoint = self._capture(
+                                transport, superstep, costs, aggregates,
+                                telemetry, total_messages)
+                            if store is not None:
+                                store.write(last_checkpoint)
+                            checkpoints_written += 1
+                            checkpoint_wall_ms += (
+                                time.perf_counter() - checkpoint_start
+                            ) * 1000.0
+                        if program.should_stop(result.aggregate, superstep):
+                            converged = True
+                            break
+                    else:
+                        converged = transport.compute_owned() == 0
+                    states = transport.states()
+                    break
+                except WorkerDied as death:
+                    if not self._recovery_enabled:
+                        raise
+                    if len(recoveries) >= self.max_recoveries:
+                        raise ClusterError(
+                            f"giving up after {len(recoveries)} recoveries "
+                            f"(machine {death.machine}: {death.reason})"
+                        ) from death
+                    recovery_start = time.perf_counter()
+                    transport.close()
+                    if self.on_failure == "redistribute":
+                        self._evict_machine(death.machine)
+                    transport = self._make_transport(program)
+                    detected_at = superstep
+                    del costs[:], aggregates[:], telemetry[:]
+                    if last_checkpoint is not None:
+                        transport.restore(last_checkpoint.shard_states)
+                        superstep = last_checkpoint.cursor
+                        self._install_progress(last_checkpoint, costs,
+                                               aggregates, telemetry)
+                        total_messages = (
+                            last_checkpoint.progress["messages"])
+                    else:
+                        # Death before the boundary-0 checkpoint finished:
+                        # nothing committed yet, start over from scratch.
+                        initialized = False
+                        superstep = 0
+                        total_messages = 0
+                    converged = False
+                    recoveries.append(RecoveryEvent(
+                        machine=death.machine,
+                        reason=death.reason,
+                        superstep_detected=detected_at,
+                        resumed_from=superstep,
+                        wall_ms=(time.perf_counter() - recovery_start)
+                        * 1000.0))
+        finally:
+            transport.close()
         return ClusterReport(
             algorithm=program.name,
             supersteps=len(costs),
@@ -263,7 +573,17 @@ class ClusterEngine:
             num_machines=self.num_machines,
             wall_ms_total=sum(t.wall_ms for t in telemetry),
             telemetry=telemetry,
+            recoveries=recoveries,
+            checkpoints_written=checkpoints_written,
+            checkpoint_wall_ms=checkpoint_wall_ms,
         )
+
+    @staticmethod
+    def _install_progress(checkpoint: CheckpointState, costs, aggregates,
+                          telemetry) -> None:
+        costs.extend(checkpoint.progress["costs"])
+        aggregates.extend(checkpoint.progress["aggregates"])
+        telemetry.extend(checkpoint.progress["telemetry"])
 
     def _run_fallback(self, program: VertexProgram,
                       max_supersteps: int) -> ClusterReport:

@@ -32,17 +32,37 @@ Two backends share the exchange logic through :class:`ShardGroup`:
   shard arrays ship once at start-up, then only channel slices and small
   telemetry tuples cross per superstep.  Machines *are* the workers, so
   remote messages are exactly the payloads that crossed a pipe.
+
+Failure detection and fault injection
+-------------------------------------
+No wait in either transport is unbounded.  Every pipe receive polls in
+short intervals, probing the worker process's liveness between polls, so
+a SIGKILLed worker surfaces as :class:`~repro.cluster.faults.WorkerDied`
+(carrying the dead machine's id) within one poll interval — and a worker
+that is alive but wedged trips the configurable ``timeout`` instead of
+hanging the coordinator forever.  Both transports expose the recovery
+primitives the engine's checkpoint/rollback layer is built on:
+``snapshot()`` / ``restore()`` move per-partition kernel state across
+transport incarnations (and machine layouts), and ``kill_machine()``
+lets a deterministic :class:`~repro.cluster.faults.FaultInjector` kill a
+named machine at a named superstep position — a real ``SIGKILL`` on the
+process backend, a simulated death flag on the serial one, with the same
+detection points either way.
 """
 
 from __future__ import annotations
 
+import copy
 import multiprocessing as mp
+import os
+import signal
 import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
 
 import numpy as np
 
+from repro.cluster.faults import FaultInjector, WorkerDied
 from repro.engine.dense import DenseKernel
 from repro.engine.vertex_program import VertexProgram
 from repro.graph.shard import Shard, ShardedGraph
@@ -196,6 +216,34 @@ class ShardRunner:
         return {vertex: state
                 for vertex, state in self.kernel.states().items()
                 if vertex in owned_ids}
+
+    # -- checkpoint protocol -------------------------------------------
+    def snapshot(self) -> Dict[str, Any]:
+        """This shard's complete kernel state at a superstep boundary.
+
+        Captures every kernel attribute except the (immutable, rebuildable)
+        shard CSR and the runner-rebound helper callables: numpy arrays by
+        copy, everything else by deepcopy.  Message buffers (``has_msg``
+        and the kernel's incoming arrays) are ordinary attributes, so the
+        in-flight inbox travels with the snapshot.
+        """
+        state: Dict[str, Any] = {}
+        for key, value in self.kernel.__dict__.items():
+            if key == "csr" or callable(value):
+                continue
+            state[key] = (value.copy() if isinstance(value, np.ndarray)
+                          else copy.deepcopy(value))
+        return state
+
+    def restore(self, state: Dict[str, Any]) -> None:
+        """Install a :meth:`snapshot` image (copied — the checkpoint stays
+        reusable for later rollbacks)."""
+        for key, value in state.items():
+            setattr(self.kernel, key,
+                    value.copy() if isinstance(value, np.ndarray)
+                    else copy.deepcopy(value))
+        self.pending = None
+        self._mask = None
 
 
 #: A routed sync payload: (dst_partition, src_partition, values, recv).
@@ -354,6 +402,16 @@ class ShardGroup:
             merged.update(runner.states())
         return merged
 
+    # -- checkpoint protocol --------------------------------------------
+    def snapshot(self) -> Dict[int, Dict[str, Any]]:
+        """Per-partition kernel states of every shard in this group."""
+        return {partition: runner.snapshot()
+                for partition, runner in sorted(self.runners.items())}
+
+    def restore(self, shard_states: Mapping[int, Dict[str, Any]]) -> None:
+        for partition, runner in sorted(self.runners.items()):
+            runner.restore(shard_states[partition])
+
 
 @dataclass
 class TransportStepResult:
@@ -370,7 +428,14 @@ class SerialTransport:
     """All shards in this process, stepped sequentially — the
     deterministic reference backend the process backend is tested
     against.  The machine map is purely logical here (default: one
-    machine per partition) and only classifies traffic."""
+    machine per partition) and only classifies traffic.
+
+    Fault injection is simulated: ``kill_machine`` marks a logical
+    machine dead and every subsequent exchange raises
+    :class:`WorkerDied` at the same superstep positions the process
+    backend would detect a real crash — so the engine's recovery path is
+    exercised identically (and fast) on both backends.
+    """
 
     backend = "serial"
 
@@ -383,19 +448,54 @@ class SerialTransport:
         self.group = ShardGroup(shards, program, machine_of, host_of,
                                 host=0)
         self.num_hosts = 1
+        self._machines = set(machine_of.values())
+        self._dead: set = set()
 
+    # -- failure primitives --------------------------------------------
+    def kill_machine(self, machine: int) -> bool:
+        """Simulate a crash of ``machine`` (unknown/dead ids are no-ops)."""
+        if machine not in self._machines or machine in self._dead:
+            return False
+        self._dead.add(machine)
+        return True
+
+    def _check_alive(self) -> None:
+        if self._dead:
+            raise WorkerDied(min(self._dead), "killed by fault injection")
+
+    def _fire(self, injector: Optional[FaultInjector], point: str,
+              superstep: int) -> None:
+        if injector is None:
+            return
+        victim = injector.check(point, superstep)
+        if victim is not None:
+            self.kill_machine(victim)
+
+    # -- superstep protocol --------------------------------------------
     def compute_owned(self) -> int:
+        self._check_alive()
         return self.group.compute_owned()
 
-    def step(self, superstep: int) -> TransportStepResult:
+    def step(self, superstep: int,
+             injector: Optional[FaultInjector] = None
+             ) -> TransportStepResult:
+        self._check_alive()
         result = self.group.step(superstep)
+        self._fire(injector, "pre-gather", superstep)
+        self._check_alive()
         if result.syncing:
             outbound = self.group.collect_gathers()
             assert not outbound, "serial transport routed off-host"
             self.group.apply_gathers([])
+            self._fire(injector, "mid-scatter", superstep)
+            self._check_alive()
             outbound = self.group.collect_scatters()
             assert not outbound, "serial transport routed off-host"
             self.group.apply_scatters([])
+        # A post-apply kill lands after the superstep committed; like a
+        # real crash it is detected at the *next* exchange (the following
+        # superstep, a checkpoint snapshot, or the final states fetch).
+        self._fire(injector, "post-apply", superstep)
         return TransportStepResult(sent=result.sent,
                                    aggregate=result.aggregate,
                                    compute_seconds=result.compute_seconds,
@@ -403,45 +503,81 @@ class SerialTransport:
                                    stats=self.group.stats)
 
     def states(self) -> Dict[int, Any]:
+        self._check_alive()
         return self.group.states()
+
+    # -- checkpoint protocol -------------------------------------------
+    def snapshot(self) -> Dict[int, Dict[str, Any]]:
+        self._check_alive()
+        return self.group.snapshot()
+
+    def restore(self, shard_states: Mapping[int, Dict[str, Any]]) -> None:
+        self.group.restore(shard_states)
 
     def close(self) -> None:
         pass
 
 
-def _cluster_worker(conn, shards: List[Shard], program: VertexProgram,
-                    machine_of: Dict[int, int], host_of: Dict[int, int],
-                    host: int) -> None:
+def _cluster_worker(conn, inherited, shards: List[Shard],
+                    program: VertexProgram, machine_of: Dict[int, int],
+                    host_of: Dict[int, int], host: int) -> None:
     """Worker process main loop: one :class:`ShardGroup`, command-driven.
 
     Commands are small tuples; sync payloads are numpy slices.  The
     worker stages intra-host payloads itself and only ships cross-host
     slices back to the coordinator for routing.
     """
+    # The fork duplicated every pipe end that existed in the parent —
+    # including this worker's *own* coordinator-side end.  Close them
+    # all: otherwise the coordinator dropping its end can never deliver
+    # EOF/EPIPE here (this process itself would keep the pipe alive),
+    # and a worker blocked in send() during teardown would hang forever.
+    for other in inherited:
+        try:
+            other.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
     group = ShardGroup(shards, program, machine_of, host_of, host)
     while True:
-        message = conn.recv()
-        op = message[0]
-        if op == "mask":
-            conn.send(group.compute_owned())
-        elif op == "step":
-            result = group.step(message[1])
-            outbound = (group.collect_gathers() if result.syncing else {})
-            conn.send((result.sent, result.aggregate,
-                       result.compute_seconds, result.syncing, outbound))
-        elif op == "gather":
-            group.apply_gathers(message[1])
-            conn.send(group.collect_scatters())
-        elif op == "scatter":
-            group.apply_scatters(message[1])
-            conn.send(group.stats)
-        elif op == "states":
-            conn.send(group.states())
-        elif op == "stop":
-            conn.close()
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            # Coordinator went away (e.g. torn down mid-superstep during
+            # a recovery): exit quietly instead of tracebacking.
             return
-        else:  # pragma: no cover - defensive
-            raise RuntimeError(f"unknown cluster worker op {op!r}")
+        op = message[0]
+        try:
+            if op == "mask":
+                conn.send(group.compute_owned())
+            elif op == "step":
+                result = group.step(message[1])
+                outbound = (group.collect_gathers()
+                            if result.syncing else {})
+                conn.send((result.sent, result.aggregate,
+                           result.compute_seconds, result.syncing,
+                           outbound))
+            elif op == "gather":
+                group.apply_gathers(message[1])
+                conn.send(group.collect_scatters())
+            elif op == "scatter":
+                group.apply_scatters(message[1])
+                conn.send(group.stats)
+            elif op == "states":
+                conn.send(group.states())
+            elif op == "snapshot":
+                conn.send(group.snapshot())
+            elif op == "restore":
+                group.restore(message[1])
+                conn.send(True)
+            elif op == "stop":
+                conn.close()
+                return
+            else:  # pragma: no cover - defensive
+                raise RuntimeError(f"unknown cluster worker op {op!r}")
+        except (BrokenPipeError, OSError):
+            # Reply pipe dropped mid-send (coordinator tore the
+            # transport down): exit quietly, like the recv case above.
+            return
 
 
 class ProcessTransport:
@@ -457,42 +593,118 @@ class ProcessTransport:
 
     backend = "process"
 
+    #: Liveness-probe interval of the bounded receive loop (seconds).
+    POLL_INTERVAL = 0.05
+    #: Default per-reply timeout; must exceed the worst-case single
+    #: superstep of the workload (a wedged-but-alive worker trips it).
+    DEFAULT_TIMEOUT = 30.0
+
     def __init__(self, sharded: ShardedGraph, program: VertexProgram,
-                 machine_of: Mapping[int, int]) -> None:
+                 machine_of: Mapping[int, int],
+                 timeout: Optional[float] = None) -> None:
         partitions = sharded.partitions
         self.machine_of = dict(machine_of)
+        self.timeout = self.DEFAULT_TIMEOUT if timeout is None else timeout
+        if self.timeout <= 0:
+            raise ValueError("timeout must be positive")
         hosts = sorted(set(self.machine_of.values()))
         self.num_hosts = len(hosts)
+        self._parts_of_host = {
+            host: [p for p in partitions if self.machine_of[p] == host]
+            for host in hosts}
         context = mp.get_context()
-        self._processes = []
+        self._procs: Dict[int, Any] = {}
         self._conns = {}
         try:
+            # All pipes exist before the first fork so every child can
+            # enumerate (and close) the ends it inherited but does not
+            # own — see _cluster_worker.  Without this, teardown via
+            # closing the coordinator ends cannot unblock a worker.
+            pipes = {host: context.Pipe() for host in hosts}
             for host in hosts:
-                parent_conn, child_conn = context.Pipe()
-                shards = [sharded.shards[p] for p in partitions
-                          if self.machine_of[p] == host]
+                parent_conn, child_conn = pipes[host]
+                inherited = [end for other, pair in pipes.items()
+                             for end in pair if end is not child_conn]
+                shards = [sharded.shards[p]
+                          for p in self._parts_of_host[host]]
                 process = context.Process(
                     target=_cluster_worker,
-                    args=(child_conn, shards, program, self.machine_of,
-                          self.machine_of, host),
+                    args=(child_conn, inherited, shards, program,
+                          self.machine_of, self.machine_of, host),
                     daemon=True)
                 process.start()
-                child_conn.close()
-                self._processes.append(process)
+                self._procs[host] = process
                 self._conns[host] = parent_conn
+            for _, child_conn in pipes.values():
+                child_conn.close()
         except Exception:
             self.close()
             raise
 
-    def _broadcast(self, message) -> Dict[int, Any]:
-        for conn in self._conns.values():
-            conn.send(message)
-        return {host: conn.recv() for host, conn in self._conns.items()}
+    # -- bounded, liveness-probing pipe exchange ------------------------
+    def _send(self, host: int, message) -> None:
+        try:
+            self._conns[host].send(message)
+        except (BrokenPipeError, OSError) as exc:
+            raise WorkerDied(host, f"pipe closed on send ({exc})") from None
 
+    def _recv(self, host: int):
+        """Receive one reply from ``host``; never blocks unboundedly.
+
+        Polls in :data:`POLL_INTERVAL` slices, probing the worker
+        process's liveness between polls: a SIGKILLed worker is detected
+        within one interval, a wedged-but-alive worker within
+        ``timeout`` — either way a :class:`WorkerDied` with the machine
+        id, not a silent hang.
+        """
+        conn = self._conns[host]
+        deadline = time.monotonic() + self.timeout
+        while True:
+            try:
+                if conn.poll(self.POLL_INTERVAL):
+                    return conn.recv()
+            except (EOFError, OSError):
+                raise WorkerDied(host, "pipe closed") from None
+            process = self._procs[host]
+            if not process.is_alive():
+                raise WorkerDied(
+                    host, f"worker exited with code {process.exitcode}")
+            if time.monotonic() >= deadline:
+                raise WorkerDied(
+                    host, f"no reply within {self.timeout:.1f}s "
+                          f"(worker still alive — likely wedged)")
+
+    def _broadcast(self, message) -> Dict[int, Any]:
+        for host in sorted(self._conns):
+            self._send(host, message)
+        return {host: self._recv(host) for host in sorted(self._conns)}
+
+    # -- failure primitives --------------------------------------------
+    def kill_machine(self, machine: int) -> bool:
+        """SIGKILL the worker hosting ``machine`` (no-op when unknown or
+        already dead) — the fault injector's process-backend kill."""
+        process = self._procs.get(machine)
+        if process is None or not process.is_alive():
+            return False
+        os.kill(process.pid, signal.SIGKILL)
+        process.join(timeout=5)
+        return True
+
+    def _fire(self, injector: Optional[FaultInjector], point: str,
+              superstep: int) -> None:
+        if injector is None:
+            return
+        victim = injector.check(point, superstep)
+        if victim is not None:
+            self.kill_machine(victim)
+
+    # -- superstep protocol --------------------------------------------
     def compute_owned(self) -> int:
         return sum(self._broadcast(("mask",)).values())
 
-    def step(self, superstep: int) -> TransportStepResult:
+    def step(self, superstep: int,
+             injector: Optional[FaultInjector] = None
+             ) -> TransportStepResult:
         replies = self._broadcast(("step", superstep))
         sent = sum(reply[0] for reply in replies.values())
         aggregate = _reduce_aggregates(
@@ -503,21 +715,26 @@ class ProcessTransport:
             raise RuntimeError("workers disagree on sync — "
                                "non-deterministic kernel")
         synced = syncing.pop()
+        self._fire(injector, "pre-gather", superstep)
         stats = SyncStats()
         if synced:
             # Route gather payloads, then scatter payloads, through the
             # coordinator hub (logical channels stay point-to-point and
             # are counted as such by the receiving group).
             routed = self._route(replies, payload_index=4)
-            for host, conn in sorted(self._conns.items()):
-                conn.send(("gather", routed.get(host, [])))
-            scatter_replies = {host: conn.recv()
-                               for host, conn in sorted(self._conns.items())}
+            for host in sorted(self._conns):
+                self._send(host, ("gather", routed.get(host, [])))
+            scatter_replies = {host: self._recv(host)
+                               for host in sorted(self._conns)}
+            self._fire(injector, "mid-scatter", superstep)
             routed = self._route(scatter_replies, payload_index=None)
-            for host, conn in sorted(self._conns.items()):
-                conn.send(("scatter", routed.get(host, [])))
-            for host, conn in sorted(self._conns.items()):
-                stats.merge(conn.recv())
+            for host in sorted(self._conns):
+                self._send(host, ("scatter", routed.get(host, [])))
+            for host in sorted(self._conns):
+                stats.merge(self._recv(host))
+        # Post-apply kills commit the superstep first; detection happens
+        # at the next exchange, exactly like a real crash there.
+        self._fire(injector, "post-apply", superstep)
         return TransportStepResult(sent=sent, aggregate=aggregate,
                                    compute_seconds=compute,
                                    synced=synced, stats=stats)
@@ -539,23 +756,48 @@ class ProcessTransport:
     def states(self) -> Dict[int, Any]:
         merged: Dict[int, Any] = {}
         for host in sorted(self._conns):
-            self._conns[host].send(("states",))
+            self._send(host, ("states",))
         for host in sorted(self._conns):
-            merged.update(self._conns[host].recv())
+            merged.update(self._recv(host))
         return merged
+
+    # -- checkpoint protocol -------------------------------------------
+    def snapshot(self) -> Dict[int, Dict[str, Any]]:
+        """Per-partition kernel states gathered from every worker."""
+        merged: Dict[int, Dict[str, Any]] = {}
+        for reply in self._broadcast(("snapshot",)).values():
+            merged.update(reply)
+        return merged
+
+    def restore(self, shard_states: Mapping[int, Dict[str, Any]]) -> None:
+        """Ship each worker the states of exactly its own shards (keyed
+        by partition, so any machine layout can receive any snapshot)."""
+        for host in sorted(self._conns):
+            subset = {partition: shard_states[partition]
+                      for partition in self._parts_of_host[host]}
+            self._send(host, ("restore", subset))
+        for host in sorted(self._conns):
+            self._recv(host)
 
     def close(self) -> None:
         for conn in self._conns.values():
             try:
                 conn.send(("stop",))
-            except (BrokenPipeError, OSError):  # pragma: no cover
+            except (BrokenPipeError, OSError):
                 pass
-        for process in self._processes:
-            process.join(timeout=10)
-            if process.is_alive():  # pragma: no cover - defensive
-                process.terminate()
-                process.join(timeout=5)
+        # Close our pipe ends *before* joining: a worker abandoned
+        # mid-protocol may be blocked in send() on a payload nobody will
+        # read — we are the only other holder of its pipe (workers close
+        # inherited ends at startup), so this delivers EPIPE and the
+        # worker exits.  Anything still alive after the grace period is
+        # wedged and holds no state we need; kill it rather than stall
+        # the recovery path.
         for conn in self._conns.values():
             conn.close()
+        for process in self._procs.values():
+            process.join(timeout=5)
+            if process.is_alive():  # pragma: no cover - defensive
+                process.kill()
+                process.join(timeout=5)
         self._conns = {}
-        self._processes = []
+        self._procs = {}

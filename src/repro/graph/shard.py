@@ -226,6 +226,23 @@ class ShardedGraph:
             self._graph = graph
         return self._graph
 
+    def fingerprint(self) -> str:
+        """Stable digest of the sharding's shape (sizes per partition).
+
+        Stored inside every cluster checkpoint and verified on restore,
+        so a checkpoint can never be silently replayed against a
+        different graph or partitioning.  Deliberately layout-free: the
+        same sharding on a different machine map fingerprints identically
+        (checkpoints are keyed by partition, not machine).
+        """
+        import hashlib
+        parts = [f"{self.num_vertices}|{self.num_edges}"]
+        for partition in self.partitions:
+            shard = self.shards[partition]
+            parts.append(f"|{partition}:{shard.num_vertices}:"
+                         f"{shard.num_edges}:{shard.num_owned}")
+        return hashlib.sha1("".join(parts).encode()).hexdigest()
+
     def placement(self, num_machines: Optional[int] = None,
                   machine_of_partition: Optional[Mapping[int, int]] = None):
         """The :class:`~repro.engine.placement.Placement` of this sharding.

@@ -1,0 +1,23 @@
+"""Condition-polling helpers shared by the daemon/CLI tests.
+
+Fixed sleeps make slow-CI flakes; these helpers wait for the *condition*
+instead, with a hard deadline so a genuine hang still fails fast."""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+
+def wait_until(predicate: Callable[[], bool], timeout: float = 10.0,
+               interval: float = 0.02, message: str = "condition") -> None:
+    """Poll ``predicate`` until it returns True or ``timeout`` expires."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(interval)
+    if predicate():  # one last check after the deadline
+        return
+    raise AssertionError(
+        f"timed out after {timeout:.1f}s waiting for {message}")

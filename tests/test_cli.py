@@ -345,27 +345,29 @@ class TestServeAndClient:
         """The serve subcommand prints the OS-assigned port (--port 0)."""
         import re
         import threading
-        import time
 
+        from _async_utils import wait_until
         from repro.service.client import ServiceClient
 
         thread = threading.Thread(
             target=main, args=(["serve", "--port", "0"],), daemon=True)
         thread.start()
-        captured = ""
-        port = None
-        for _ in range(200):
-            captured += capsys.readouterr().out
-            match = re.search(r"listening on .*:(\d+)", captured)
-            if match:
-                port = int(match.group(1))
-                break
-            time.sleep(0.05)
-        assert port is not None, "serve never announced its port"
+        seen = {"text": ""}
+
+        def announced():
+            seen["text"] += capsys.readouterr().out
+            return re.search(r"listening on .*:(\d+)", seen["text"])
+
+        wait_until(lambda: announced() is not None,
+                   message="serve to announce its port")
+        port = int(re.search(r"listening on .*:(\d+)",
+                             seen["text"]).group(1))
         with ServiceClient(port=port) as client:
             assert client.ping()["pong"] is True
             client.shutdown()
         thread.join(10)
+        wait_until(lambda: not thread.is_alive(),
+                   message="serve thread to exit after shutdown")
 
     def test_client_defaults(self):
         args = build_parser().parse_args(["client", "g.txt"])

@@ -13,6 +13,7 @@ import threading
 
 import pytest
 
+from _async_utils import wait_until
 from repro.core.adwise import AdwisePartitioner
 from repro.graph.graph import Edge
 from repro.graph.stream import InMemoryEdgeStream
@@ -67,6 +68,8 @@ def daemon(tmp_path):
             except (OSError, ServiceError):
                 pass
         thread.join(10)
+        wait_until(lambda: not thread.is_alive(),
+                   message="daemon thread to exit after shutdown")
 
 
 def _reference(algorithm_cls, partitions, edge_pairs, **knobs):
