@@ -28,20 +28,29 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import asyncio
 import json
 import os
+import shutil
 import sys
+import tempfile
 import threading
 import time
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), os.pardir, "src"))
 
+from repro.api import open_session                                # noqa: E402
 from repro.graph.generators import barabasi_albert_graph          # noqa: E402
 from repro.graph.graph import Edge                                # noqa: E402
 from repro.graph.stream import InMemoryEdgeStream                 # noqa: E402
 from repro.partitioning.parallel import partitioner_registry      # noqa: E402
 from repro.service.client import ServiceClient                    # noqa: E402
-from repro.service.server import run_service                      # noqa: E402
+from repro.service.server import PartitionService, run_service    # noqa: E402
+from repro.service.wal import (                                   # noqa: E402
+    TenantWAL,
+    wal_path,
+    wal_snapshot_path,
+)
 from repro.simtime import SimulatedClock                          # noqa: E402
 
 #: The interleaved tenant mix: name -> (algorithm, knobs).  Four tenants
@@ -66,6 +75,23 @@ NUM_PARTITIONS = 8
 SMOKE_GATES = dict.fromkeys(["aggregate", *TENANTS], 0.15)
 FULL_GATES = dict.fromkeys(["aggregate", *TENANTS], 0.20)
 
+#: ``--durability`` gates.  ``wal-overhead`` is wal/no-wal daemon
+#: throughput at fsync=batch: the write-ahead log may cost at most 15%.
+#: ``cold-recovery`` is WAL-replay throughput over direct in-process
+#: ingest throughput — replay *is* re-ingestion plus snapshot/log IO,
+#: so the ratio sits well below 1.0 but not pathologically so; the
+#: floor catches recovery becoming dramatically slower than the stream
+#: it replays.  Durability rows always run the full-size stream (even
+#: under ``--smoke``): the smoke stream finishes in ~0.2 s, where a
+#: single scheduling hiccup swings the ratio by more than the gate
+#: margin, while the full stream's ~2 s runs keep the paired
+#: min-of-repeats ratio stable (~0.9 measured, ~6-9% true overhead).
+DURABILITY_GATES = {"wal-overhead": 0.85, "cold-recovery": 0.20}
+DURABILITY_TENANT = "t-wal"
+#: ~4 compactions over the full stream — compaction (snapshot pickle +
+#: log truncate) is in the measured window, at an amortized cadence.
+DURABILITY_COMPACT_EVERY = 100
+
 
 def build_stream(smoke: bool):
     if smoke:
@@ -87,7 +113,7 @@ def direct_run(algorithm: str, knobs: dict, edges):
     return result, time.perf_counter() - begin
 
 
-def boot_daemon():
+def boot_daemon(**service_kwargs):
     ready = threading.Event()
     bound = {}
 
@@ -97,7 +123,8 @@ def boot_daemon():
 
     thread = threading.Thread(
         target=run_service,
-        kwargs=dict(port=0, queue_depth=16, ready_callback=on_ready),
+        kwargs=dict(port=0, queue_depth=16, ready_callback=on_ready,
+                    **service_kwargs),
         daemon=True)
     thread.start()
     if not ready.wait(10):
@@ -134,6 +161,144 @@ def service_run(edges, batch_size: int):
         client.shutdown()
     thread.join(10)
     return wall, per_tenant
+
+
+def durability_service_run(edges, batch_size: int, wal_dir, fsync="batch"):
+    """One single-tenant daemon run, with or without a WAL; returns
+    (ingest wall seconds, finalize response)."""
+    kwargs = {}
+    if wal_dir is not None:
+        kwargs = dict(wal_dir=wal_dir, fsync=fsync,
+                      wal_compact_every=DURABILITY_COMPACT_EVERY)
+    port, thread = boot_daemon(**kwargs)
+    with ServiceClient(port=port) as client:
+        client.open(DURABILITY_TENANT, algorithm="hdrf",
+                    partitions=NUM_PARTITIONS, expected_edges=len(edges))
+        begin = time.perf_counter()
+        pending = [client.ingest_async(DURABILITY_TENANT,
+                                       edges[start:start + batch_size])
+                   for start in range(0, len(edges), batch_size)]
+        client.drain(pending)
+        wall = time.perf_counter() - begin
+        final = client.finalize(DURABILITY_TENANT)
+        client.shutdown()
+    thread.join(10)
+    return wall, final
+
+
+def cold_recovery_run(edges, batch_size: int, wal_dir):
+    """Build the on-disk state a daemon killed before its first
+    compaction leaves behind (snapshot at seq 0 + a WAL holding every
+    batch), then time a fresh daemon's recovery over it.  Returns
+    (recovery wall seconds, replayed batch count, finalize result)."""
+    os.makedirs(wal_dir, exist_ok=True)
+    session = open_session(algorithm="hdrf", partitions=NUM_PARTITIONS,
+                           expected_edges=len(edges))
+    snapshot = session.snapshot()
+    snapshot.seq = 0
+    snapshot.save(wal_snapshot_path(wal_dir, DURABILITY_TENANT))
+    wal = TenantWAL(wal_path(wal_dir, DURABILITY_TENANT),
+                    {"tenant": DURABILITY_TENANT, "algorithm": "hdrf",
+                     "partitions": list(range(NUM_PARTITIONS)),
+                     "format": 1}, fsync="off")
+    for seq, start in enumerate(range(0, len(edges), batch_size),
+                                start=1):
+        wal.append(seq, edges[start:start + batch_size])
+    wal.close()
+
+    box = {}
+
+    async def recover():
+        service = PartitionService(port=0, wal_dir=wal_dir)
+        begin = time.perf_counter()
+        await service.start()
+        wall = time.perf_counter() - begin
+        box["replayed"] = service.recovered[DURABILITY_TENANT]
+        tenant = service.tenants[DURABILITY_TENANT]
+        box["final"] = tenant.session.finalize()
+        await service.stop()
+        return wall
+
+    wall = asyncio.run(recover())
+    return wall, box["replayed"], box["final"]
+
+
+def run_durability(repeats: int, batch_size: int) -> list:
+    """The ``--durability`` rows: WAL overhead + cold-recovery time.
+
+    Always measured on the full-size stream — see the
+    :data:`DURABILITY_GATES` note on why the smoke stream is too short
+    to gate a throughput *ratio* reliably.
+    """
+    _, edges = build_stream(smoke=False)
+    reference = None
+
+    # Interleave the baseline and the measured run as adjacent pairs
+    # and gate on the *best pair's* ratio: ambient load only ever slows
+    # a run, so the cleanest pair is the truest estimate of the ratio,
+    # and a genuine regression degrades every pair.
+    wal_pairs, wal_parity = [], True
+    for _ in range(repeats):
+        nowal_wall, _ = durability_service_run(edges, batch_size, None)
+        workdir = tempfile.mkdtemp(prefix="bench-service-wal-")
+        try:
+            wal_wall, final = durability_service_run(
+                edges, batch_size, os.path.join(workdir, "wal"))
+        finally:
+            shutil.rmtree(workdir, ignore_errors=True)
+        if reference is None:
+            reference = final["assignments"]
+        wal_parity = wal_parity and final["assignments"] == reference
+        wal_pairs.append((nowal_wall, wal_wall))
+    nowal_wall, wal_wall = max(wal_pairs, key=lambda p: p[0] / p[1])
+
+    recovery_pairs, recovery_parity, replayed = [], True, 0
+    for _ in range(repeats):
+        result, direct_wall = direct_run("hdrf", {}, edges)
+        triples = sorted([e.u, e.v, p]
+                         for e, p in result.assignments.items())
+        recovery_parity = recovery_parity and triples == reference
+        workdir = tempfile.mkdtemp(prefix="bench-service-recover-")
+        try:
+            recovery_wall, replayed, final = cold_recovery_run(
+                edges, batch_size, os.path.join(workdir, "wal"))
+        finally:
+            shutil.rmtree(workdir, ignore_errors=True)
+        triples = sorted([e.u, e.v, p]
+                         for e, p in final.assignments.items())
+        recovery_parity = recovery_parity and triples == reference
+        recovery_pairs.append((direct_wall, recovery_wall))
+    direct_wall, recovery_wall = max(recovery_pairs,
+                                     key=lambda p: p[0] / p[1])
+
+    nowal_eps = len(edges) / nowal_wall
+    wal_eps = len(edges) / wal_wall
+    direct_eps = len(edges) / direct_wall
+    recovery_eps = len(edges) / recovery_wall
+    return [
+        {
+            # wal/no-wal daemon throughput at fsync=batch; the gate
+            # says durability may cost at most 15%.
+            "algorithm": "wal-overhead",
+            "edges_per_tenant": len(edges),
+            "legacy_eps": nowal_eps,
+            "fast_eps": wal_eps,
+            "speedup": wal_eps / nowal_eps,
+            "parity": wal_parity,
+        },
+        {
+            # recovery replay throughput vs direct ingest; parity means
+            # the recovered tenant finalizes bit-identically.
+            "algorithm": "cold-recovery",
+            "edges_per_tenant": len(edges),
+            "replayed_batches": replayed,
+            "recovery_wall_s": recovery_wall,
+            "legacy_eps": direct_eps,
+            "fast_eps": recovery_eps,
+            "speedup": recovery_eps / direct_eps,
+            "parity": recovery_parity,
+        },
+    ]
 
 
 def run_benchmark(smoke: bool, repeats: int, batch_size: int) -> dict:
@@ -227,6 +392,9 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--smoke", action="store_true",
                         help="small stream for CI")
+    parser.add_argument("--durability", action="store_true",
+                        help="also measure WAL overhead and cold-recovery "
+                             "time (gated rows)")
     parser.add_argument("--check", action="store_true",
                         help="fail on parity break or gated ratio")
     parser.add_argument("--repeats", type=int, default=3,
@@ -239,14 +407,20 @@ def main(argv=None) -> int:
 
     report = run_benchmark(args.smoke, max(1, args.repeats),
                            args.batch_size)
+    if args.durability:
+        report["results"].extend(
+            run_durability(max(1, args.repeats), args.batch_size))
+        report["gates"].update(DURABILITY_GATES)
     print(f"workload: {report['workload']} "
           f"({report['tenants']} tenants x "
           f"{report['edges_per_tenant']} edges)")
     for row in report["results"]:
+        p99 = (f", p99 {row['p99_ms']:.2f} ms"
+               if "p99_ms" in row else "")
         print(f"  {row['algorithm']:<16} ratio {row['speedup']:.3f} "
-              f"(service {row['fast_eps']:.0f} e/s vs direct "
-              f"{row['legacy_eps']:.0f} e/s), p99 {row['p99_ms']:.2f} ms, "
-              f"parity {'ok' if row['parity'] else 'BROKEN'}")
+              f"({row['fast_eps']:.0f} e/s vs {row['legacy_eps']:.0f} "
+              f"e/s){p99}, parity "
+              f"{'ok' if row['parity'] else 'BROKEN'}")
 
     if args.out:
         with open(args.out, "w", encoding="utf-8") as handle:

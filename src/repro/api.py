@@ -100,6 +100,11 @@ class SessionSnapshot:
     algorithm_state: Optional[dict] = None
     version: int = 1
     extras: Dict[str, object] = field(default_factory=dict)
+    #: Ingest-batch sequence high-water mark at snapshot time — the
+    #: service daemon's WAL recovery replays only records newer than
+    #: this (read back with ``getattr(snapshot, "seq", 0)`` so
+    #: pre-WAL pickles stay loadable).
+    seq: int = 0
 
     def save(self, path: str) -> None:
         """Persist to ``path`` (pickle — floats round-trip bit-exactly)."""

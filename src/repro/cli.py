@@ -122,6 +122,19 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--snapshot-dir", default=None,
                        help="directory for graceful-shutdown snapshots; "
                             "restored on the next start")
+    serve.add_argument("--wal-dir", default=None,
+                       help="directory for per-tenant write-ahead logs: "
+                            "every ingest batch is logged before it is "
+                            "applied, so a killed daemon restarted over "
+                            "the same directory resumes every tenant "
+                            "bit-identically")
+    serve.add_argument("--wal-compact-every", type=int, default=64,
+                       help="applied batches between WAL compactions "
+                            "(snapshot + truncate; bounds recovery cost)")
+    serve.add_argument("--fsync", choices=["always", "batch", "off"],
+                       default="batch",
+                       help="WAL fsync policy: every append (always), "
+                            "batched (default), or page-cache only (off)")
 
     resume = sub.add_parser(
         "resume",
@@ -159,6 +172,10 @@ def build_parser() -> argparse.ArgumentParser:
     client.add_argument("--keep-open", action="store_true",
                         help="leave the tenant open (skip finalize) so "
                              "later invocations or queries can continue it")
+    client.add_argument("--retries", type=int, default=5,
+                        help="reconnection attempts after a dropped "
+                             "connection (jittered exponential backoff); "
+                             "0 fails fast")
     return parser
 
 
@@ -539,17 +556,27 @@ def _run_serve(args: argparse.Namespace) -> int:
         print("error: --max-tenants and --queue-depth must be >= 1",
               file=sys.stderr)
         return 2
+    if args.wal_compact_every < 1:
+        print("error: --wal-compact-every must be >= 1", file=sys.stderr)
+        return 2
 
     def announce(service) -> None:
+        durability = ("wal" if service.wal_dir is not None else
+                      "snapshots" if service.snapshot_dir is not None
+                      else "none")
         print(f"listening on {service.host}:{service.port} "
               f"(max {service.max_tenants} tenants, queue depth "
-              f"{service.queue_depth})", flush=True)
+              f"{service.queue_depth}, durability {durability})",
+              flush=True)
 
     try:
         run_service(host=args.host, port=args.port,
                     max_tenants=args.max_tenants,
                     queue_depth=args.queue_depth,
                     snapshot_dir=args.snapshot_dir,
+                    wal_dir=args.wal_dir,
+                    wal_compact_every=args.wal_compact_every,
+                    fsync=args.fsync,
                     ready_callback=announce)
     except KeyboardInterrupt:  # pragma: no cover - interactive only
         pass
@@ -566,11 +593,15 @@ def _run_client(args: argparse.Namespace) -> int:
     if args.batch_size < 1:
         print("error: --batch-size must be >= 1", file=sys.stderr)
         return 2
+    if args.retries < 0:
+        print("error: --retries must be >= 0", file=sys.stderr)
+        return 2
     knobs: dict = {}
     if args.algorithm == "adwise" and args.latency_preference is not None:
         knobs["latency_preference_ms"] = args.latency_preference
     try:
-        with ServiceClient(host=args.host, port=args.port) as client:
+        with ServiceClient(host=args.host, port=args.port,
+                           max_retries=args.retries) as client:
             client.open(args.tenant, algorithm=args.algorithm,
                         partitions=args.partitions, **knobs)
             batch: list = []

@@ -23,11 +23,26 @@ proves parity against :meth:`partition_stream`).
 
 Durability
 ----------
-``shutdown`` (or :meth:`PartitionService.stop`) snapshots every live
-tenant to ``snapshot_dir`` via :meth:`PartitionSession.snapshot`; a
-daemon started over the same directory resumes those tenants
-bit-identically (sessions on a wall clock cannot be snapshot and are
-dropped with a warning in the shutdown response).
+Two tiers (see :mod:`repro.service.wal` for the crash-safety design):
+
+* ``wal_dir`` — **crash safe**: every accepted ingest batch is appended
+  to a per-tenant write-ahead log *before* it is enqueued, compacted
+  into a snapshot every ``wal_compact_every`` batches; a SIGKILL'd
+  daemon restarted over the same directory replays the log and resumes
+  every tenant bit-identically (``tests/test_service_chaos.py``).
+* ``snapshot_dir`` — graceful only: ``shutdown`` (or :meth:`stop`)
+  snapshots live tenants; a hard kill loses everything since start.
+  Kept for installs that do not need the WAL's write amplification.
+
+Exactly-once ingest
+-------------------
+Every ingest batch carries a per-tenant ``seq`` (clients that omit it
+get server-assigned seqs and no idempotency).  A batch is *accepted*
+when its WAL record is durable and it is enqueued, *applied* when the
+partitioner has consumed it.  A duplicate seq — a client retry after a
+dropped connection or a daemon crash — is answered from a bounded
+replay cache (applied batches) or by waiting on the in-flight batch
+(accepted ones), never re-partitioned; a seq gap is refused loudly.
 """
 
 from __future__ import annotations
@@ -36,7 +51,8 @@ import asyncio
 import json
 import os
 import time
-from typing import Dict, Optional
+from collections import OrderedDict
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.api import (
     PartitionSession,
@@ -47,6 +63,19 @@ from repro.api import (
 )
 from repro.service.audit import DecisionLog
 from repro.service.metrics import TenantMetrics
+from repro.service.wal import (
+    FSYNC_MODES,
+    FaultHook,
+    SimulatedCrash,
+    TenantWAL,
+    WALError,
+    WAL_SNAPSHOT_SUFFIX,
+    WAL_SUFFIX,
+    read_wal,
+    wal_path,
+    wal_snapshot_path,
+    write_snapshot_atomic,
+)
 
 SNAPSHOT_SUFFIX = ".snapshot"
 
@@ -55,7 +84,8 @@ class Tenant:
     """Daemon-side state for one tenant: session + queue + worker."""
 
     def __init__(self, name: str, session: PartitionSession,
-                 queue_depth: int, audit_depth: int) -> None:
+                 queue_depth: int, audit_depth: int,
+                 replay_depth: int = 256) -> None:
         self.name = name
         self.session = session
         self.queue: asyncio.Queue = asyncio.Queue(maxsize=queue_depth)
@@ -63,6 +93,68 @@ class Tenant:
         self.audit = DecisionLog(capacity=audit_depth)
         self.worker: Optional[asyncio.Task] = None
         self.closed = False
+        #: Write-ahead log handle; ``None`` without ``wal_dir``.
+        self.wal: Optional[TenantWAL] = None
+        #: Highest seq durably logged + enqueued.
+        self.accepted_seq = 0
+        #: Highest seq the partitioner has consumed.
+        self.applied_seq = 0
+        #: Applied seq at the last WAL compaction.
+        self.compacted_seq = 0
+        #: Bounded ``seq -> response`` cache answering retried batches.
+        self.replay: "OrderedDict[int, dict]" = OrderedDict()
+        self.replay_depth = replay_depth
+        #: Futures of duplicate requests waiting on an in-flight seq.
+        self.waiters: Dict[int, List[asyncio.Future]] = {}
+        self.last_compact_error: Optional[str] = None
+
+
+class _LineReader:
+    """Bounded ndjson line reader over a raw ``StreamReader``.
+
+    ``asyncio``'s own ``readline`` raises (and wedges the buffer) past
+    its limit; this reader instead *discards* an oversized line and
+    reports it, so the connection can answer a diagnostic and keep
+    serving — garbage input must never kill a connection's task.
+    """
+
+    def __init__(self, reader: asyncio.StreamReader,
+                 max_line_bytes: int) -> None:
+        self._reader = reader
+        self._max = max_line_bytes
+        self._buffer = bytearray()
+
+    async def readline(self) -> Tuple[Optional[bytes], bool]:
+        """Next line as ``(line, overflowed)``; ``(None, False)`` on EOF."""
+        while True:
+            newline = self._buffer.find(b"\n")
+            if newline >= 0:
+                line = bytes(self._buffer[:newline + 1])
+                del self._buffer[:newline + 1]
+                return line, False
+            if len(self._buffer) > self._max:
+                return None, await self._discard_line()
+            chunk = await self._reader.read(65536)
+            if not chunk:
+                if self._buffer:  # final line without a newline
+                    line = bytes(self._buffer)
+                    self._buffer.clear()
+                    return line, False
+                return None, False
+            self._buffer.extend(chunk)
+
+    async def _discard_line(self) -> bool:
+        """Drop buffered bytes up to and including the next newline."""
+        while True:
+            newline = self._buffer.find(b"\n")
+            if newline >= 0:
+                del self._buffer[:newline + 1]
+                return True
+            self._buffer.clear()
+            chunk = await self._reader.read(65536)
+            if not chunk:
+                return True
+            self._buffer.extend(chunk)
 
 
 class PartitionService:
@@ -79,38 +171,82 @@ class PartitionService:
     queue_depth:
         Per-tenant ingest queue bound — the backpressure knob.
     snapshot_dir:
-        Directory for shutdown snapshots; ``None`` disables durability.
-        On :meth:`start`, any ``*.snapshot`` files there are restored
-        as live tenants.
+        Directory for graceful-shutdown snapshots (restored on start).
+    wal_dir:
+        Directory for per-tenant write-ahead logs + compaction
+        snapshots — crash-safe durability (see module docstring).
+        ``None`` disables the WAL; may be combined with
+        ``snapshot_dir`` (WAL-covered tenants take precedence).
+    wal_compact_every:
+        Applied batches between WAL compactions (snapshot + truncate).
+    fsync:
+        WAL fsync policy: ``always`` / ``batch`` / ``off``.
+    max_line_bytes:
+        Request-line bound; longer lines are discarded and answered
+        with a diagnostic instead of buffered unboundedly.
+    replay_depth:
+        Per-tenant bound on cached ingest responses for duplicate
+        (retried) seqs.
     audit_depth:
         Per-tenant decision-log ring capacity.
+    fault_hook:
+        Test-only crash injection: called at every WAL/snapshot/ack
+        boundary (see ``wal.SERVICE_INJECTION_POINTS``); raising
+        :class:`~repro.service.wal.SimulatedCrash` aborts the daemon
+        as a SIGKILL would.
     """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 0,
                  max_tenants: int = 64, queue_depth: int = 16,
                  snapshot_dir: Optional[str] = None,
-                 audit_depth: int = 4096) -> None:
+                 wal_dir: Optional[str] = None,
+                 wal_compact_every: int = 64,
+                 fsync: str = "batch",
+                 max_line_bytes: int = 1_048_576,
+                 replay_depth: int = 256,
+                 audit_depth: int = 4096,
+                 fault_hook: Optional[FaultHook] = None) -> None:
         if max_tenants < 1:
             raise ValueError("max_tenants must be >= 1")
         if queue_depth < 1:
             raise ValueError("queue_depth must be >= 1")
+        if wal_compact_every < 1:
+            raise ValueError("wal_compact_every must be >= 1")
+        if fsync not in FSYNC_MODES:
+            raise ValueError(f"fsync must be one of {FSYNC_MODES}")
+        if max_line_bytes < 1024:
+            raise ValueError("max_line_bytes must be >= 1024")
+        if replay_depth < 1:
+            raise ValueError("replay_depth must be >= 1")
         self.host = host
         self.port = port
         self.max_tenants = max_tenants
         self.queue_depth = queue_depth
         self.snapshot_dir = snapshot_dir
+        self.wal_dir = wal_dir
+        self.wal_compact_every = wal_compact_every
+        self.fsync = fsync
+        self.max_line_bytes = max_line_bytes
+        self.replay_depth = replay_depth
         self.audit_depth = audit_depth
+        self.fault_hook = fault_hook
         self.tenants: Dict[str, Tenant] = {}
         self.started_at = 0.0
+        self.crashed = False
+        #: Tenants recovered from the WAL on the last :meth:`start`,
+        #: with the number of replayed batches (observability + tests).
+        self.recovered: Dict[str, int] = {}
         self._server: Optional[asyncio.AbstractServer] = None
         self._stopping = asyncio.Event()
+        self._connections: Set[asyncio.StreamWriter] = set()
 
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
     async def start(self) -> None:
-        """Bind, restore snapshot tenants, and begin accepting clients."""
-        restored = self._restore_tenants()
+        """Bind, recover WAL/snapshot tenants, begin accepting clients."""
+        restored = self._restore_wal_tenants()
+        restored += self._restore_tenants()
         self._server = await asyncio.start_server(
             self._handle_connection, host=self.host, port=self.port)
         self.port = self._server.sockets[0].getsockname()[1]
@@ -125,7 +261,7 @@ class PartitionService:
         await self._stopping.wait()
 
     async def stop(self) -> dict:
-        """Graceful shutdown: quiesce workers, snapshot live tenants."""
+        """Graceful shutdown: quiesce workers, persist live tenants."""
         report = {"snapshots": [], "dropped": []}
         if self._server is not None:
             self._server.close()
@@ -135,12 +271,24 @@ class PartitionService:
             await self._quiesce(tenant)
             if tenant.session.closed:
                 continue
+            if tenant.wal is not None:
+                # Final compaction: the WAL directory alone resumes the
+                # tenant on the next start.
+                try:
+                    self._compact(tenant)
+                    tenant.wal.close()
+                    report["snapshots"].append(tenant.name)
+                except SessionError:
+                    report["dropped"].append(tenant.name)
+                continue
             if self.snapshot_dir is None:
                 report["dropped"].append(tenant.name)
                 continue
             try:
                 path = self._snapshot_path(tenant.name)
-                tenant.session.snapshot().save(path)
+                snapshot = tenant.session.snapshot()
+                snapshot.seq = tenant.applied_seq
+                snapshot.save(path)
                 report["snapshots"].append(tenant.name)
             except SessionError:
                 # Wall-clock session: not resumable, nothing to persist.
@@ -148,26 +296,146 @@ class PartitionService:
         self._stopping.set()
         return report
 
+    async def _abort(self) -> None:
+        """Simulated hard crash (a :class:`SimulatedCrash` fired).
+
+        Mirrors a SIGKILL as closely as an in-process stop can: no
+        graceful snapshots, workers cancelled mid-batch, connections
+        reset.  Durability must come from the WAL alone.
+        """
+        if self.crashed:
+            return
+        self.crashed = True
+        if self._server is not None:
+            self._server.close()
+            self._server = None
+        current = asyncio.current_task()
+        for tenant in self.tenants.values():
+            if tenant.worker is not None and tenant.worker is not current:
+                tenant.worker.cancel()
+            for futures in tenant.waiters.values():
+                for future in futures:
+                    if not future.done():
+                        future.cancel()
+            tenant.waiters.clear()
+        for writer in list(self._connections):
+            transport = writer.transport
+            if transport is not None:
+                transport.abort()
+        self._connections.clear()
+        self._stopping.set()
+
     def _snapshot_path(self, name: str) -> str:
         os.makedirs(self.snapshot_dir, exist_ok=True)
         return os.path.join(self.snapshot_dir, name + SNAPSHOT_SUFFIX)
 
+    # ------------------------------------------------------------------
+    # Recovery
+    # ------------------------------------------------------------------
     def _restore_tenants(self) -> list:
+        """Legacy graceful-shutdown snapshots (``snapshot_dir``)."""
         restored = []
         if self.snapshot_dir is None or not os.path.isdir(self.snapshot_dir):
             return restored
         for filename in sorted(os.listdir(self.snapshot_dir)):
             if not filename.endswith(SNAPSHOT_SUFFIX):
                 continue
-            path = os.path.join(self.snapshot_dir, filename)
             name = filename[:-len(SNAPSHOT_SUFFIX)]
-            session = restore_session(SessionSnapshot.load(path))
+            if name in self.tenants:  # WAL recovery already owns it
+                continue
+            path = os.path.join(self.snapshot_dir, filename)
+            snapshot = SessionSnapshot.load(path)
+            session = restore_session(snapshot)
             tenant = Tenant(name, session, self.queue_depth,
-                            self.audit_depth)
+                            self.audit_depth, self.replay_depth)
+            seq = int(getattr(snapshot, "seq", 0))
+            tenant.accepted_seq = tenant.applied_seq = seq
+            tenant.compacted_seq = seq
             self.tenants[name] = tenant
             restored.append(tenant)
             os.remove(path)
         return restored
+
+    def _restore_wal_tenants(self) -> list:
+        """Crash recovery: snapshot + WAL replay per tenant (tentpole)."""
+        self.recovered = {}
+        restored = []
+        if self.wal_dir is None:
+            return restored
+        os.makedirs(self.wal_dir, exist_ok=True)
+        names = sorted(
+            filename[:-len(WAL_SNAPSHOT_SUFFIX)]
+            for filename in os.listdir(self.wal_dir)
+            if filename.endswith(WAL_SNAPSHOT_SUFFIX)
+            and not filename.startswith("."))
+        for name in names:
+            restored.append(self._recover_tenant(name))
+        for filename in sorted(os.listdir(self.wal_dir)):
+            if filename.endswith(WAL_SUFFIX):
+                name = filename[:-len(WAL_SUFFIX)]
+                if name not in self.tenants:
+                    raise WALError(
+                        f"{os.path.join(self.wal_dir, filename)}: WAL "
+                        f"present without its snapshot — refusing to "
+                        f"silently drop tenant {name!r}")
+        return restored
+
+    def _recover_tenant(self, name: str) -> Tenant:
+        snap_path = wal_snapshot_path(self.wal_dir, name)
+        snapshot = SessionSnapshot.load(snap_path)
+        applied = int(getattr(snapshot, "seq", 0))
+        session = restore_session(snapshot)
+        tenant = Tenant(name, session, self.queue_depth,
+                        self.audit_depth, self.replay_depth)
+        log_path = wal_path(self.wal_dir, name)
+        replayed = 0
+        if os.path.exists(log_path):
+            header, records, _torn = read_wal(log_path)
+            self._verify_topology(name, header, snapshot, log_path)
+            for seq, edges in records:
+                if seq <= applied:
+                    continue  # duplicate of the snapshot (mid-compact)
+                if seq != applied + 1:
+                    raise WALError(
+                        f"{log_path}: WAL gap — record seq {seq} "
+                        f"follows applied seq {applied}")
+                self._apply_batch(tenant, seq, edges)
+                applied = seq
+                replayed += 1
+        else:
+            header = self._wal_header(name, session)
+        tenant.accepted_seq = tenant.applied_seq = applied
+        # Bound the *next* recovery: snapshot the recovered state, then
+        # start a clean log.  Snapshot-before-truncate: a crash between
+        # the two leaves duplicates the replay above skips.
+        compaction = session.snapshot()
+        compaction.seq = applied
+        write_snapshot_atomic(snap_path, compaction,
+                              fsync=self.fsync != "off")
+        tenant.wal = TenantWAL(log_path, header, fsync=self.fsync,
+                               fault_hook=self.fault_hook)
+        tenant.compacted_seq = applied
+        self.tenants[name] = tenant
+        self.recovered[name] = replayed
+        return tenant
+
+    @staticmethod
+    def _verify_topology(name: str, header: dict,
+                         snapshot: SessionSnapshot, path: str) -> None:
+        expected = {"tenant": name, "algorithm": snapshot.algorithm,
+                    "partitions": [int(p) for p in snapshot.partitions]}
+        actual = {key: header.get(key) for key in expected}
+        if actual != expected:
+            raise WALError(
+                f"{path}: WAL/snapshot topology mismatch — WAL header "
+                f"{actual} vs snapshot {expected}")
+
+    @staticmethod
+    def _wal_header(name: str, session: PartitionSession) -> dict:
+        return {"tenant": name, "algorithm": session.algorithm,
+                "partitions": [int(p) for p in
+                               session.partitioner.state.partitions],
+                "format": 1}
 
     # ------------------------------------------------------------------
     # Tenant workers
@@ -176,6 +444,39 @@ class PartitionService:
         tenant.worker = asyncio.get_running_loop().create_task(
             self._ingest_worker(tenant))
 
+    def _hook(self, point: str, tenant: str, seq: int) -> None:
+        if self.fault_hook is not None:
+            self.fault_hook(point, tenant, seq)
+
+    def _apply_batch(self, tenant: Tenant, seq: int, edges) -> dict:
+        """Partition one batch and cache its response (worker + replay)."""
+        try:
+            assignments = tenant.session.ingest(edges)
+            for assignment in assignments:
+                tenant.audit.record(assignment.edge.u,
+                                    assignment.edge.v,
+                                    assignment.partition)
+            response = {
+                "ok": True,
+                "accepted": len(edges),
+                "seq": seq,
+                "assignments": [[a.edge.u, a.edge.v, a.partition]
+                                for a in assignments],
+            }
+        except Exception as exc:  # surface, don't kill the worker
+            response = {"ok": False, "error": str(exc), "seq": seq}
+        tenant.applied_seq = seq
+        tenant.replay[seq] = response
+        while len(tenant.replay) > tenant.replay_depth:
+            tenant.replay.popitem(last=False)
+        return response
+
+    @staticmethod
+    def _fire_waiters(tenant: Tenant, seq: int, response: dict) -> None:
+        for future in tenant.waiters.pop(seq, []):
+            if not future.done():
+                future.set_result(response)
+
     async def _ingest_worker(self, tenant: Tenant) -> None:
         """Drain one tenant's queue; one batch at a time, FIFO."""
         while True:
@@ -183,25 +484,47 @@ class PartitionService:
             if item is None:
                 tenant.queue.task_done()
                 return
-            edges, enqueued_at, reply = item
+            seq, edges, enqueued_at, reply = item
             try:
-                assignments = tenant.session.ingest(edges)
-                for assignment in assignments:
-                    tenant.audit.record(assignment.edge.u,
-                                        assignment.edge.v,
-                                        assignment.partition)
+                response = self._apply_batch(tenant, seq, edges)
                 tenant.metrics.observe_batch(
                     len(edges), time.monotonic() - enqueued_at)
-                response = {
-                    "ok": True,
-                    "accepted": len(edges),
-                    "assignments": [[a.edge.u, a.edge.v, a.partition]
-                                    for a in assignments],
-                }
-            except Exception as exc:  # surface, don't kill the worker
-                response = {"ok": False, "error": str(exc)}
-            await reply(response)
+                self._fire_waiters(tenant, seq, response)
+                self._hook("pre-ack", tenant.name, seq)
+                try:
+                    await reply(response)
+                except (ConnectionError, OSError):
+                    # The requesting connection is gone; the response
+                    # stays in the replay cache for the client's retry.
+                    pass
+                if (tenant.wal is not None
+                        and tenant.applied_seq - tenant.compacted_seq
+                        >= self.wal_compact_every):
+                    try:
+                        self._compact(tenant)
+                    except SimulatedCrash:
+                        raise
+                    except Exception as exc:
+                        tenant.last_compact_error = str(exc)
+            except SimulatedCrash:
+                tenant.queue.task_done()
+                asyncio.get_running_loop().create_task(self._abort())
+                return
             tenant.queue.task_done()
+
+    def _compact(self, tenant: Tenant) -> None:
+        """Snapshot + truncate: bound WAL replay cost (tentpole)."""
+        seq = tenant.applied_seq
+        self._hook("pre-compact", tenant.name, seq)
+        snapshot = tenant.session.snapshot()
+        snapshot.seq = seq
+        write_snapshot_atomic(wal_snapshot_path(self.wal_dir, tenant.name),
+                              snapshot, fsync=self.fsync != "off")
+        self._hook("mid-compact", tenant.name, seq)
+        tenant.wal.truncate_through(seq)
+        tenant.compacted_seq = seq
+        tenant.last_compact_error = None
+        self._hook("post-compact", tenant.name, seq)
 
     async def _quiesce(self, tenant: Tenant) -> None:
         """Stop a tenant's worker after the queued batches drain."""
@@ -217,17 +540,26 @@ class PartitionService:
     async def _handle_connection(self, reader: asyncio.StreamReader,
                                  writer: asyncio.StreamWriter) -> None:
         write_lock = asyncio.Lock()
+        self._connections.add(writer)
 
         async def send(payload: dict) -> None:
             async with write_lock:
                 writer.write(json.dumps(payload).encode() + b"\n")
                 await writer.drain()
 
+        lines = _LineReader(reader, self.max_line_bytes)
         try:
             while True:
-                line = await reader.readline()
-                if not line:
+                line, overflowed = await lines.readline()
+                if overflowed:
+                    await send({"ok": False, "error":
+                                f"bad request: line exceeds "
+                                f"{self.max_line_bytes} bytes"})
+                    continue
+                if line is None:
                     break
+                if not line.strip():
+                    continue
                 try:
                     request = json.loads(line)
                     if not isinstance(request, dict):
@@ -238,9 +570,13 @@ class PartitionService:
                 stop_after = await self._dispatch(request, send)
                 if stop_after:
                     break
-        except (ConnectionResetError, asyncio.IncompleteReadError):
+        except (ConnectionResetError, BrokenPipeError,
+                asyncio.IncompleteReadError):
             pass
+        except asyncio.CancelledError:
+            raise
         finally:
+            self._connections.discard(writer)
             writer.close()
             try:
                 await writer.wait_closed()
@@ -265,13 +601,7 @@ class PartitionService:
             elif op == "open":
                 await reply(self._op_open(request))
             elif op == "ingest":
-                # Replies are sent by the tenant worker (see module
-                # docstring); the await below is the backpressure point.
-                tenant = self._tenant_of(request)
-                edges = [(int(u), int(v))
-                         for u, v in request.get("edges", [])]
-                tenant.metrics.observe_queue_depth(tenant.queue.qsize() + 1)
-                await tenant.queue.put((edges, time.monotonic(), reply))
+                await self._op_ingest(request, reply)
             elif op == "query":
                 await reply(self._op_query(request))
             elif op == "stats":
@@ -292,7 +622,11 @@ class PartitionService:
                 return True
             else:
                 await reply({"ok": False, "error": f"unknown op {op!r}"})
-        except (SessionError, KeyError, TypeError, ValueError) as exc:
+        except SimulatedCrash:
+            await self._abort()
+            return True
+        except (SessionError, WALError, KeyError, TypeError,
+                ValueError) as exc:
             await reply({"ok": False, "error": str(exc)})
         return False
 
@@ -301,7 +635,7 @@ class PartitionService:
     # ------------------------------------------------------------------
     def _tenant_of(self, request: dict) -> Tenant:
         name = request.get("tenant")
-        if not name or name not in self.tenants:
+        if not isinstance(name, str) or name not in self.tenants:
             raise SessionError(f"unknown tenant {name!r}")
         tenant = self.tenants[name]
         if tenant.closed:
@@ -327,12 +661,65 @@ class PartitionService:
             partitions=request.get("partitions", 32),
             expected_edges=int(request.get("expected_edges", 0)),
             **knobs)
-        tenant = Tenant(name, session, self.queue_depth, self.audit_depth)
+        tenant = Tenant(name, session, self.queue_depth, self.audit_depth,
+                        self.replay_depth)
+        if self.wal_dir is not None:
+            # Snapshot first so a crash between the two writes leaves a
+            # resumable tenant (a WAL alone is unrecoverable state).
+            os.makedirs(self.wal_dir, exist_ok=True)
+            snapshot = session.snapshot()
+            snapshot.seq = 0
+            write_snapshot_atomic(wal_snapshot_path(self.wal_dir, name),
+                                  snapshot, fsync=self.fsync != "off")
+            tenant.wal = TenantWAL(wal_path(self.wal_dir, name),
+                                   self._wal_header(name, session),
+                                   fsync=self.fsync,
+                                   fault_hook=self.fault_hook)
         self.tenants[name] = tenant
         self._start_worker(tenant)
         return {"ok": True, "tenant": name,
                 "algorithm": session.algorithm,
-                "partitions": session.partitioner.state.num_partitions}
+                "partitions": session.partitioner.state.num_partitions,
+                "durable": tenant.wal is not None}
+
+    async def _op_ingest(self, request: dict, reply) -> None:
+        """Accept one batch: WAL append -> enqueue (replies come from
+        the tenant worker; the ``queue.put`` is the backpressure
+        point).  Duplicate seqs answer from the replay cache."""
+        tenant = self._tenant_of(request)
+        edges = [(int(u), int(v)) for u, v in request.get("edges", [])]
+        raw_seq = request.get("seq")
+        if raw_seq is None:
+            seq = tenant.accepted_seq + 1  # legacy client: no idempotency
+        else:
+            seq = int(raw_seq)
+            if seq < 1:
+                raise SessionError("ingest seq must be >= 1")
+            if seq <= tenant.applied_seq:
+                cached = tenant.replay.get(seq)
+                if cached is None:
+                    raise SessionError(
+                        f"batch seq {seq} was applied but its response "
+                        f"left the replay cache "
+                        f"(depth {tenant.replay_depth})")
+                await reply(dict(cached, replayed=True))
+                return
+            if seq <= tenant.accepted_seq:
+                # Duplicate of an in-flight batch: wait for the worker.
+                future = asyncio.get_running_loop().create_future()
+                tenant.waiters.setdefault(seq, []).append(future)
+                response = await future
+                await reply(dict(response, replayed=True))
+                return
+            if seq != tenant.accepted_seq + 1:
+                raise SessionError(
+                    f"ingest seq gap for tenant {tenant.name!r}: got "
+                    f"{seq}, expected {tenant.accepted_seq + 1}")
+        if tenant.wal is not None:
+            tenant.wal.append(seq, edges)
+        tenant.accepted_seq = seq
+        tenant.metrics.observe_queue_depth(tenant.queue.qsize() + 1)
+        await tenant.queue.put((seq, edges, time.monotonic(), reply))
 
     def _op_query(self, request: dict) -> dict:
         tenant = self._tenant_of(request)
@@ -352,6 +739,12 @@ class PartitionService:
                 "session": tenant.session.stats().to_dict(),
                 "metrics": tenant.metrics.to_dict(),
                 "queue_depth": tenant.queue.qsize(),
+                "accepted_seq": tenant.accepted_seq,
+                "applied_seq": tenant.applied_seq,
+                "durability": {
+                    "wal": tenant.wal is not None,
+                    "compacted_seq": tenant.compacted_seq,
+                    "last_compact_error": tenant.last_compact_error},
                 "audit": {"recorded": tenant.audit.total_recorded,
                           "retained": len(tenant.audit),
                           "dropped": tenant.audit.dropped}}
@@ -364,6 +757,14 @@ class PartitionService:
                               for r in tenant.audit.tail(limit)],
                 "dropped": tenant.audit.dropped}
 
+    def _remove_wal_files(self, tenant: Tenant) -> None:
+        if tenant.wal is None:
+            return
+        tenant.wal.close(remove=True)
+        snap_path = wal_snapshot_path(self.wal_dir, tenant.name)
+        if os.path.exists(snap_path):
+            os.remove(snap_path)
+
     async def _op_finalize(self, request: dict) -> dict:
         """Drain the queue, finalize the session, retire the tenant."""
         tenant = self._tenant_of(request)
@@ -371,6 +772,7 @@ class PartitionService:
         await self._quiesce(tenant)
         result = tenant.session.finalize()
         del self.tenants[tenant.name]
+        self._remove_wal_files(tenant)
         return {"ok": True, "tenant": tenant.name,
                 "assignments": sorted(
                     [e.u, e.v, p] for e, p in result.assignments.items()),
@@ -381,12 +783,19 @@ class PartitionService:
 
     async def _op_snapshot(self, request: dict) -> dict:
         """On-demand snapshot of one live tenant (tenant stays live)."""
-        if self.snapshot_dir is None:
-            raise SessionError("daemon started without --snapshot-dir")
+        if self.snapshot_dir is None and self.wal_dir is None:
+            raise SessionError(
+                "daemon started without --snapshot-dir or --wal-dir")
         tenant = self._tenant_of(request)
         await tenant.queue.join()  # settle in-flight batches first
-        path = self._snapshot_path(tenant.name)
-        tenant.session.snapshot().save(path)
+        if tenant.wal is not None:
+            self._compact(tenant)
+            path = wal_snapshot_path(self.wal_dir, tenant.name)
+        else:
+            path = self._snapshot_path(tenant.name)
+            snapshot = tenant.session.snapshot()
+            snapshot.seq = tenant.applied_seq
+            snapshot.save(path)
         return {"ok": True, "tenant": tenant.name, "path": path}
 
     async def _op_close(self, request: dict) -> dict:
@@ -395,6 +804,7 @@ class PartitionService:
         tenant.closed = True
         await self._quiesce(tenant)
         del self.tenants[tenant.name]
+        self._remove_wal_files(tenant)
         return {"ok": True, "tenant": tenant.name, "closed": True}
 
     def _op_tenants(self) -> dict:
@@ -402,13 +812,20 @@ class PartitionService:
             {"tenant": t.name,
              "algorithm": t.session.algorithm,
              "edges_ingested": t.session.edges_ingested,
-             "queue_depth": t.queue.qsize()}
+             "queue_depth": t.queue.qsize(),
+             "applied_seq": t.applied_seq,
+             "durable": t.wal is not None}
             for t in self.tenants.values()]}
 
 
 def run_service(host: str = "127.0.0.1", port: int = 0,
                 max_tenants: int = 64, queue_depth: int = 16,
                 snapshot_dir: Optional[str] = None,
+                wal_dir: Optional[str] = None,
+                wal_compact_every: int = 64,
+                fsync: str = "batch",
+                max_line_bytes: int = 1_048_576,
+                fault_hook: Optional[FaultHook] = None,
                 ready_callback=None) -> None:
     """Blocking entry point used by ``repro-cli serve``.
 
@@ -421,7 +838,12 @@ def run_service(host: str = "127.0.0.1", port: int = 0,
         service = PartitionService(host=host, port=port,
                                    max_tenants=max_tenants,
                                    queue_depth=queue_depth,
-                                   snapshot_dir=snapshot_dir)
+                                   snapshot_dir=snapshot_dir,
+                                   wal_dir=wal_dir,
+                                   wal_compact_every=wal_compact_every,
+                                   fsync=fsync,
+                                   max_line_bytes=max_line_bytes,
+                                   fault_hook=fault_hook)
         await service.start()
         if ready_callback is not None:
             ready_callback(service)

@@ -1,0 +1,194 @@
+"""Shared plumbing for the service test suites.
+
+* :class:`SupervisedDaemon` — runs a real :class:`PartitionService` in a
+  background thread and, like an init system, boots a fresh daemon over
+  the same directories (and the same port) whenever a
+  :class:`SimulatedCrash` takes one down.
+* :class:`FaultSchedule` — consume-on-fire crash schedule threaded
+  through the daemon's ``fault_hook`` (the serving-path twin of
+  ``cluster.faults.FaultInjector``): each scheduled ``(point, seq)``
+  kills the daemon exactly once, so the post-restart replay of the same
+  batch runs clean.
+* :class:`FlakyProxy` — a TCP proxy that cuts (and optionally delays)
+  client connections mid-stream, for exercising the client's
+  reconnect + resend path without touching the daemon.
+"""
+
+import asyncio
+import socket
+import threading
+import time
+from typing import Dict, List, Optional, Tuple
+
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.server import PartitionService
+from repro.service.wal import SimulatedCrash
+
+
+class FaultSchedule:
+    """Crash the daemon at scheduled ``(point, seq)`` boundaries.
+
+    Entries are consumed when they fire; ``fired`` records the order.
+    Shared across daemon restarts so recovery replay never re-crashes
+    on the batch that killed the previous incarnation.
+    """
+
+    def __init__(self, kills) -> None:
+        self.kills = set(kills)
+        self.fired: List[Tuple[str, int]] = []
+
+    def __call__(self, point: str, tenant: str, seq: int) -> None:
+        key = (point, seq)
+        if key in self.kills:
+            self.kills.discard(key)
+            self.fired.append(key)
+            raise SimulatedCrash(f"injected crash at {point} seq {seq}")
+
+
+class SupervisedDaemon:
+    """A daemon thread that auto-restarts after simulated crashes."""
+
+    def __init__(self, **kwargs) -> None:
+        self.kwargs = kwargs
+        self.port = 0
+        self.boots = 0
+        self.error: Optional[BaseException] = None
+        self.last_service: Optional[PartitionService] = None
+        self._ready = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    def start(self) -> int:
+        def target() -> None:
+            while True:
+                box: Dict[str, PartitionService] = {}
+
+                async def main() -> None:
+                    service = PartitionService(port=self.port,
+                                               **self.kwargs)
+                    await service.start()
+                    box["service"] = service
+                    self.last_service = service
+                    self.port = service.port  # pin across restarts
+                    self.boots += 1
+                    self._ready.set()
+                    await service.serve_forever()
+
+                try:
+                    asyncio.run(main())
+                except BaseException as exc:  # boot/recovery failure
+                    self.error = exc
+                    self._ready.set()
+                    return
+                service = box.get("service")
+                if service is None or not service.crashed:
+                    return  # graceful shutdown
+                # crashed: loop around and recover over the same dirs
+
+        self._thread = threading.Thread(target=target, daemon=True)
+        self._thread.start()
+        assert self._ready.wait(15), "daemon did not come up"
+        if self.error is not None:
+            raise AssertionError(f"daemon failed to boot: {self.error}")
+        return self.port
+
+    def last_recovered(self) -> Dict[str, int]:
+        """Tenant -> replayed-batch count of the latest boot's WAL
+        recovery (empty when nothing was recovered)."""
+        assert self.last_service is not None
+        return dict(self.last_service.recovered)
+
+    def shutdown(self, timeout: float = 15.0) -> None:
+        if self._thread is None:
+            return
+        deadline = time.monotonic() + timeout
+        while self._thread.is_alive() and time.monotonic() < deadline:
+            try:
+                with ServiceClient(port=self.port, timeout=5.0,
+                                   max_retries=0) as client:
+                    client.shutdown()
+            except (ServiceError, OSError):
+                time.sleep(0.05)  # mid-restart: try again shortly
+        self._thread.join(timeout)
+        assert not self._thread.is_alive(), "daemon thread did not exit"
+
+
+class FlakyProxy:
+    """TCP proxy that cuts the first ``drops`` connections mid-stream.
+
+    Each doomed connection is severed once ``drop_after_bytes`` of
+    client->daemon traffic have passed; ``delay`` sleeps per forwarded
+    chunk to simulate a slow link.  Later connections pass through
+    untouched, so a reconnecting client always makes progress.
+    """
+
+    def __init__(self, target_port: int, drops: int = 0,
+                 drop_after_bytes: int = 4096,
+                 delay: float = 0.0) -> None:
+        self.target_port = target_port
+        self.drops_left = drops
+        self.drop_after_bytes = drop_after_bytes
+        self.delay = delay
+        self.connections = 0
+        self._closing = False
+        self._listener = socket.socket()
+        self._listener.setsockopt(socket.SOL_SOCKET,
+                                  socket.SO_REUSEADDR, 1)
+        self._listener.bind(("127.0.0.1", 0))
+        self._listener.listen(16)
+        self.port = self._listener.getsockname()[1]
+        self._thread = threading.Thread(target=self._accept_loop,
+                                        daemon=True)
+        self._thread.start()
+
+    def _accept_loop(self) -> None:
+        while not self._closing:
+            try:
+                client, _ = self._listener.accept()
+            except OSError:
+                return
+            self.connections += 1
+            try:
+                upstream = socket.create_connection(
+                    ("127.0.0.1", self.target_port), timeout=10)
+            except OSError:
+                client.close()
+                continue
+            doomed = self.drops_left > 0
+            if doomed:
+                self.drops_left -= 1
+            state = {"sent": 0}
+            for src, dst, counted in ((client, upstream, doomed),
+                                      (upstream, client, False)):
+                threading.Thread(target=self._pump,
+                                 args=(src, dst, state, counted),
+                                 daemon=True).start()
+
+    def _pump(self, src: socket.socket, dst: socket.socket,
+              state: dict, counted: bool) -> None:
+        try:
+            while True:
+                data = src.recv(4096)
+                if not data:
+                    break
+                if self.delay:
+                    time.sleep(self.delay)
+                if counted:
+                    state["sent"] += len(data)
+                    if state["sent"] >= self.drop_after_bytes:
+                        break  # sever mid-stream
+                dst.sendall(data)
+        except OSError:
+            pass
+        finally:
+            for sock in (src, dst):
+                try:
+                    sock.close()
+                except OSError:
+                    pass
+
+    def close(self) -> None:
+        self._closing = True
+        try:
+            self._listener.close()
+        except OSError:
+            pass

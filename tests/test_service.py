@@ -251,3 +251,146 @@ class TestDurability:
             client.ingest("t", EDGES[100:200])  # still live
             assert (client.stats("t")["session"]["edges_ingested"]
                     == 200)
+
+
+class TestGarbageInput:
+    """Every class of garbage must answer ``ok: false`` and leave the
+    connection (and the daemon) fully serviceable."""
+
+    @staticmethod
+    def _exchange(port, raw_lines):
+        """Send raw bytes, read one response per expected line."""
+        import socket
+
+        with socket.create_connection(("127.0.0.1", port),
+                                      timeout=10) as sock:
+            reader = sock.makefile("rb")
+            sock.sendall(raw_lines)
+            sock.sendall(b'{"op": "ping", "id": 99}\n')
+            responses = []
+            while True:
+                import json
+                response = json.loads(reader.readline())
+                responses.append(response)
+                if response.get("id") == 99:
+                    return responses
+
+    def test_invalid_json(self, daemon):
+        port, _, _ = daemon
+        responses = self._exchange(port, b"{nope nope\n")
+        assert responses[0]["ok"] is False
+        assert "bad request" in responses[0]["error"]
+        assert responses[-1]["pong"] is True  # connection survived
+
+    def test_binary_garbage(self, daemon):
+        port, _, _ = daemon
+        responses = self._exchange(port, b"\x00\xff\xfe\x9c\n")
+        assert responses[0]["ok"] is False
+        assert responses[-1]["pong"] is True
+
+    def test_non_dict_payload(self, daemon):
+        port, _, _ = daemon
+        responses = self._exchange(port, b"[1, 2, 3]\n")
+        assert responses[0]["ok"] is False
+        assert "JSON object" in responses[0]["error"]
+        assert responses[-1]["pong"] is True
+
+    def test_unknown_op_keeps_connection(self, daemon):
+        port, _, _ = daemon
+        responses = self._exchange(port, b'{"op": "zap"}\n')
+        assert responses[0]["ok"] is False
+        assert "unknown op" in responses[0]["error"]
+        assert responses[-1]["pong"] is True
+
+    def test_oversized_line_discarded(self, daemon):
+        """A line past max_line_bytes (default 1 MiB) is discarded with
+        a diagnostic instead of buffered unboundedly."""
+        port, _, _ = daemon
+        huge = b'{"op": "ingest", "edges": [' + \
+            b"[1,2]," * 300_000 + b"[1,2]]}\n"
+        assert len(huge) > 1_048_576
+        responses = self._exchange(port, huge)
+        assert responses[0]["ok"] is False
+        assert "exceeds" in responses[0]["error"]
+        assert responses[-1]["pong"] is True
+
+    def test_malformed_edges_and_seq(self, daemon):
+        port, _, _ = daemon
+        with ServiceClient(port=port) as client:
+            client.open("t", algorithm="hdrf", partitions=4)
+            with pytest.raises(ServiceError):
+                client.request({"op": "ingest", "tenant": "t",
+                                "edges": [["x", "y"]]})
+            with pytest.raises(ServiceError):
+                client.request({"op": "ingest", "tenant": "t",
+                                "edges": [[1, 2]], "seq": "later"})
+            with pytest.raises(ServiceError):
+                client.request({"op": "ingest", "tenant": "t",
+                                "edges": [[1, 2]], "seq": 0})
+            with pytest.raises(ServiceError):
+                client.request({"op": "open", "tenant": "u",
+                                "knobs": "not-a-dict"})
+            assert client.ping()["pong"] is True
+
+
+class _ScriptedServer:
+    """One-connection fake daemon replying with canned lines — for
+    exercising the client's response bookkeeping."""
+
+    def __init__(self, replies_per_line):
+        import socket
+
+        self._replies = list(replies_per_line)
+        self._listener = socket.socket()
+        self._listener.bind(("127.0.0.1", 0))
+        self._listener.listen(1)
+        self.port = self._listener.getsockname()[1]
+        self._thread = threading.Thread(target=self._serve, daemon=True)
+        self._thread.start()
+
+    def _serve(self):
+        conn, _ = self._listener.accept()
+        reader = conn.makefile("rb")
+        try:
+            for reply in self._replies:
+                if not reader.readline():
+                    return
+                conn.sendall(reply)
+            reader.readline()  # linger until the client hangs up
+        except OSError:
+            pass
+        finally:
+            conn.close()
+
+    def close(self):
+        self._listener.close()
+
+
+class TestClientBookkeeping:
+    """The `_wait_for` satellite: un-id'd responses raise instead of
+    wedging the loop; stale responses are dropped, not accumulated."""
+
+    def test_unidentified_response_raises(self):
+        server = _ScriptedServer([b'{"ok": true, "pong": true}\n'])
+        try:
+            with ServiceClient(port=server.port, max_retries=0) as client:
+                with pytest.raises(ServiceError,
+                                   match="un-correlated"):
+                    client.ping()
+        finally:
+            server.close()
+
+    def test_stale_responses_dropped(self):
+        """A reply for an id that is no longer pending (e.g. abandoned
+        after a timeout) must not accumulate in ``_responses``."""
+        server = _ScriptedServer([
+            b'{"ok": true, "id": 999}\n'
+            b'{"ok": true, "id": 998}\n'
+            b'{"ok": true, "pong": true, "id": 0}\n'])
+        try:
+            with ServiceClient(port=server.port, max_retries=0) as client:
+                assert client.ping()["pong"] is True
+                assert client._responses == {}
+                assert client._pending == {}
+        finally:
+            server.close()

@@ -1,0 +1,278 @@
+"""Chaos suite: the daemon dies at every WAL/snapshot/ack boundary and
+the stream must still come out exactly-once, bit-identical.
+
+Three layers of attack:
+
+* **Scheduled crashes** — a :class:`FaultSchedule` kills the daemon at
+  each :data:`SERVICE_INJECTION_POINTS` boundary (torn WAL writes
+  included); a supervisor reboots it over the same ``wal_dir`` and the
+  self-healing client reconnects and resends.  The final assignments
+  must equal an uninterrupted local run, with no batch lost or applied
+  twice — including under a hypothesis-random schedule of crashes.
+* **Network chaos** — a :class:`FlakyProxy` severs and delays client
+  connections mid-stream without touching the daemon; idempotent seqs
+  make the resends exactly-once.
+* **A real ``kill -9``** — the CLI daemon as a subprocess, SIGKILL'd
+  and restarted over its ``--wal-dir``, resumes bit-identically.
+"""
+
+import os
+import re
+import shutil
+import signal
+import socket
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from _service_utils import FaultSchedule, FlakyProxy, SupervisedDaemon
+from repro.partitioning.hdrf import HDRFPartitioner
+from repro.service.client import (
+    ServiceClient,
+    ServiceConnectionError,
+    ServiceTimeout,
+)
+from repro.service.wal import SERVICE_INJECTION_POINTS
+from test_service import EDGES, _expected_triples, _reference
+
+#: 12 batches of 30 edges — enough to cross two compaction boundaries
+#: at wal_compact_every=4 while keeping each crash cycle fast.
+CHAOS_EDGES = EDGES[:360]
+BATCH = 30
+NUM_BATCHES = len(CHAOS_EDGES) // BATCH
+REFERENCE = _expected_triples(_reference(HDRFPartitioner, 4, CHAOS_EDGES))
+
+
+def _client(port):
+    return ServiceClient(port=port, timeout=10.0, max_retries=8,
+                         retry_base=0.05, seed=3)
+
+
+def _finalize(client, tenant):
+    """Finalize, tolerating a connection that dies under a crash that
+    raced the last ack: the daemon provably had not started processing
+    the finalize (no injection point lives inside it), so retrying
+    after the supervisor restart is safe."""
+    for _ in range(5):
+        try:
+            return client.finalize(tenant)
+        except ServiceConnectionError:
+            time.sleep(0.1)
+    return client.finalize(tenant)
+
+
+def _run_stream(port, edges=CHAOS_EDGES, batch=BATCH, tenant="t"):
+    """Open + ingest + finalize one tenant; assert exactly-once."""
+    with _client(port) as client:
+        client.open(tenant, algorithm="hdrf", partitions=4)
+        sent = 0
+        for start in range(0, len(edges), batch):
+            client.ingest(tenant, edges[start:start + batch])
+            sent += len(edges[start:start + batch])
+        # A lost batch would undershoot, a double-applied one overshoot.
+        assert client.stats(tenant)["session"]["edges_ingested"] == sent
+        return _finalize(client, tenant)
+
+
+class TestScheduledCrashes:
+    #: Kill seq per point: compaction boundaries only fire at applied
+    #: seqs that are multiples of wal_compact_every=4.
+    KILL_SEQ = {"pre-compact": 8, "mid-compact": 8, "post-compact": 8}
+
+    @pytest.mark.parametrize("point", SERVICE_INJECTION_POINTS)
+    def test_crash_at_every_boundary(self, point, tmp_path):
+        seq = self.KILL_SEQ.get(point, 6)
+        schedule = FaultSchedule([(point, seq)])
+        daemon = SupervisedDaemon(wal_dir=str(tmp_path / "wal"),
+                                  wal_compact_every=4,
+                                  fault_hook=schedule)
+        port = daemon.start()
+        try:
+            final = _run_stream(port)
+        finally:
+            daemon.shutdown()
+        assert daemon.error is None
+        assert schedule.fired == [(point, seq)]  # the crash did happen
+        assert daemon.boots == 2  # and the supervisor rebooted once
+        assert final["assignments"] == REFERENCE
+
+    def test_repeated_crashes_one_stream(self, tmp_path):
+        """Three crashes at different boundaries within one stream.
+        (Recovery compacts at the recovered seq, so after the pre-ack
+        crash at 6 the next compaction boundary is 10.)"""
+        schedule = FaultSchedule([("wal-post-append", 3),
+                                  ("pre-ack", 6),
+                                  ("mid-compact", 10)])
+        daemon = SupervisedDaemon(wal_dir=str(tmp_path / "wal"),
+                                  wal_compact_every=4,
+                                  fault_hook=schedule)
+        port = daemon.start()
+        try:
+            final = _run_stream(port)
+        finally:
+            daemon.shutdown()
+        assert daemon.error is None
+        assert len(schedule.fired) == 3
+        assert daemon.boots == 4
+        assert final["assignments"] == REFERENCE
+
+    def test_crash_spares_other_tenants(self, tmp_path):
+        """Recovery restores *every* tenant, not just the one whose
+        batch triggered the crash."""
+        schedule = FaultSchedule([("pre-ack", 4)])
+        daemon = SupervisedDaemon(wal_dir=str(tmp_path / "wal"),
+                                  wal_compact_every=4,
+                                  fault_hook=schedule)
+        port = daemon.start()
+        try:
+            with _client(port) as client:
+                client.open("bystander", algorithm="dbh", partitions=4)
+                for start in range(0, 120, BATCH):
+                    client.ingest("bystander",
+                                  CHAOS_EDGES[start:start + BATCH])
+            final = _run_stream(port)  # crashes at its 4th batch
+            with _client(port) as client:
+                assert client.resume_seq("bystander") == 4
+                stats = client.stats("bystander")
+                assert stats["session"]["edges_ingested"] == 120
+                _finalize(client, "bystander")
+        finally:
+            daemon.shutdown()
+        assert final["assignments"] == REFERENCE
+
+    @given(kills=st.lists(
+        st.tuples(st.sampled_from(SERVICE_INJECTION_POINTS),
+                  st.integers(min_value=1, max_value=NUM_BATCHES)),
+        max_size=3, unique=True))
+    @settings(max_examples=8, deadline=None)
+    def test_random_crash_schedule(self, kills):
+        """The exactly-once bar holds for *any* crash schedule, not
+        just the hand-picked boundaries above."""
+        workdir = tempfile.mkdtemp(prefix="service-chaos-")
+        schedule = FaultSchedule(kills)
+        daemon = SupervisedDaemon(wal_dir=os.path.join(workdir, "wal"),
+                                  wal_compact_every=4,
+                                  fault_hook=schedule)
+        try:
+            port = daemon.start()
+            final = _run_stream(port)
+            assert daemon.error is None
+            assert final["assignments"] == REFERENCE
+        finally:
+            daemon.shutdown()
+            shutil.rmtree(workdir, ignore_errors=True)
+
+
+class TestNetworkChaos:
+    def test_client_survives_drops_and_delay(self, tmp_path):
+        """Connections severed mid-stream (and slowed) between client
+        and daemon: the client reconnects, resends, and the seq replay
+        keeps every batch exactly-once."""
+        daemon = SupervisedDaemon(wal_dir=str(tmp_path / "wal"),
+                                  wal_compact_every=8)
+        port = daemon.start()
+        proxy = FlakyProxy(port, drops=3, drop_after_bytes=3000,
+                           delay=0.001)
+        try:
+            final = _run_stream(proxy.port, edges=EDGES, batch=40)
+            assert proxy.connections >= 4  # the drops really happened
+        finally:
+            proxy.close()
+            daemon.shutdown()
+        assert final["assignments"] == _expected_triples(
+            _reference(HDRFPartitioner, 4, EDGES))
+
+    def test_timeout_is_typed(self):
+        """A daemon that never answers surfaces ServiceTimeout (not a
+        raw socket.timeout), and the abandoned id does not leak."""
+        listener = socket.socket()
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(1)
+        port = listener.getsockname()[1]
+        stop = threading.Event()
+
+        def mute_server():
+            conn, _ = listener.accept()
+            stop.wait(5)
+            conn.close()
+
+        thread = threading.Thread(target=mute_server, daemon=True)
+        thread.start()
+        try:
+            client = ServiceClient(port=port, timeout=0.3, max_retries=0)
+            with pytest.raises(ServiceTimeout):
+                client.ping()
+            assert client._pending == {}  # abandoned, not leaked
+            client.close()
+        finally:
+            stop.set()
+            listener.close()
+
+    def test_connect_failure_is_typed(self):
+        """Nothing listening: ServiceConnectionError after the retry
+        budget, not a raw ConnectionRefusedError."""
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        free_port = probe.getsockname()[1]
+        probe.close()  # nothing listens here now
+        with pytest.raises(ServiceConnectionError, match="could not"):
+            ServiceClient(port=free_port, max_retries=1,
+                          retry_base=0.01)
+
+
+class TestRealSigkill:
+    def test_kill_dash_nine_restart_resumes(self, tmp_path):
+        """The README quickstart, as a test: CLI daemon, kill -9,
+        restart over the same --wal-dir, resumed parity."""
+        wal_dir = str(tmp_path / "wal")
+        src = os.path.join(os.path.dirname(__file__), os.pardir, "src")
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.path.abspath(src) + os.pathsep + \
+            env.get("PYTHONPATH", "")
+
+        def spawn():
+            proc = subprocess.Popen(
+                [sys.executable, "-m", "repro.cli", "serve",
+                 "--port", "0", "--wal-dir", wal_dir,
+                 "--wal-compact-every", "4"],
+                stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+                env=env, text=True)
+            line = proc.stdout.readline()
+            match = re.search(r"listening on [\d.]+:(\d+)", line)
+            assert match, f"unexpected announce line: {line!r}"
+            return proc, int(match.group(1))
+
+        cut = 6 * BATCH
+        proc, port = spawn()
+        try:
+            with _client(port) as client:
+                client.open("t", algorithm="hdrf", partitions=4)
+                for start in range(0, cut, BATCH):
+                    client.ingest("t", CHAOS_EDGES[start:start + BATCH])
+            os.kill(proc.pid, signal.SIGKILL)  # the real thing
+            proc.wait(timeout=10)
+        finally:
+            proc.stdout.close()
+            if proc.poll() is None:
+                proc.kill()
+
+        proc2, port2 = spawn()
+        try:
+            with _client(port2) as client:
+                assert client.resume_seq("t") == cut // BATCH
+                for start in range(cut, len(CHAOS_EDGES), BATCH):
+                    client.ingest("t", CHAOS_EDGES[start:start + BATCH])
+                final = client.finalize("t")
+                client.shutdown()
+            proc2.wait(timeout=10)
+        finally:
+            proc2.stdout.close()
+            if proc2.poll() is None:
+                proc2.kill()
+        assert final["assignments"] == REFERENCE

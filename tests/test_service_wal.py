@@ -1,0 +1,284 @@
+"""Write-ahead-log tests: record format, torn tails, recovery edges,
+exactly-once seq semantics.
+
+The chaos suite (``test_service_chaos.py``) proves crash safety end to
+end; this file pins down the WAL building blocks — framing, checksum
+rejection of torn records, topology verification, compaction — and the
+daemon's seq/replay protocol through a live (uncrashed) daemon.
+"""
+
+import asyncio
+import os
+
+import pytest
+
+from _service_utils import SupervisedDaemon
+from repro.api import open_session
+from repro.partitioning.hdrf import HDRFPartitioner
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.server import PartitionService
+from repro.service.wal import (
+    MAGIC,
+    TenantWAL,
+    WALError,
+    read_wal,
+    wal_path,
+    wal_snapshot_path,
+)
+from test_service import EDGES, _expected_triples, _reference
+
+HEADER = {"tenant": "t", "algorithm": "hdrf",
+          "partitions": [0, 1, 2, 3], "format": 1}
+
+
+def _write_wal(path, batches, fsync="off"):
+    wal = TenantWAL(str(path), HEADER, fsync=fsync)
+    for seq, batch in enumerate(batches, start=1):
+        wal.append(seq, batch)
+    wal.close()
+
+
+class TestWALFormat:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "t.wal"
+        batches = [EDGES[:10], EDGES[10:25], EDGES[25:26]]
+        _write_wal(path, batches)
+        header, records, torn = read_wal(str(path))
+        assert header == HEADER
+        assert not torn
+        assert records == [(i, batch) for i, batch
+                           in enumerate(batches, start=1)]
+
+    def test_torn_final_record_discarded(self, tmp_path):
+        """A crash mid-write leaves a partial record: the checksum (or
+        short frame) rejects it and everything before it survives."""
+        path = tmp_path / "t.wal"
+        _write_wal(path, [EDGES[:10], EDGES[10:20], EDGES[20:30]])
+        intact = os.path.getsize(path)
+        for cut in (1, 5, 11):  # inside frame header and payload
+            with open(path, "r+b") as handle:
+                handle.truncate(intact - cut)
+            header, records, torn = read_wal(str(path))
+            assert torn
+            assert [seq for seq, _ in records] == [1, 2]
+            with open(path, "r+b") as handle:  # restore for next cut
+                handle.truncate(intact - cut)
+            _write_wal(path, [EDGES[:10], EDGES[10:20], EDGES[20:30]])
+
+    def test_corrupt_payload_rejected_by_checksum(self, tmp_path):
+        path = tmp_path / "t.wal"
+        _write_wal(path, [EDGES[:10], EDGES[10:20]])
+        data = bytearray(open(path, "rb").read())
+        data[-3] ^= 0xFF  # flip a byte inside the last payload
+        open(path, "wb").write(bytes(data))
+        _, records, torn = read_wal(str(path))
+        assert torn
+        assert [seq for seq, _ in records] == [1]
+
+    def test_bad_magic_and_missing_header(self, tmp_path):
+        path = tmp_path / "junk.wal"
+        path.write_bytes(b"not a wal at all\n")
+        with pytest.raises(WALError, match="bad magic"):
+            read_wal(str(path))
+        path.write_bytes(MAGIC)  # magic but no header record
+        with pytest.raises(WALError, match="missing WAL header"):
+            read_wal(str(path))
+
+    def test_truncate_through_keeps_newer_records(self, tmp_path):
+        path = tmp_path / "t.wal"
+        wal = TenantWAL(str(path), HEADER, fsync="off")
+        for seq in range(1, 7):
+            wal.append(seq, EDGES[seq:seq + 3])
+        wal.truncate_through(4)
+        wal.append(7, EDGES[7:9])  # appends continue after compaction
+        wal.close()
+        header, records, torn = read_wal(str(path))
+        assert header == HEADER
+        assert not torn
+        assert [seq for seq, _ in records] == [5, 6, 7]
+
+    def test_fsync_mode_validated(self, tmp_path):
+        with pytest.raises(WALError, match="unknown fsync mode"):
+            TenantWAL(str(tmp_path / "t.wal"), HEADER, fsync="sometimes")
+
+
+def _seed_tenant(wal_dir, batches):
+    """Hand-build the on-disk state of a tenant: snapshot at seq 0 plus
+    a WAL holding ``batches`` — what a daemon killed before its first
+    compaction leaves behind."""
+    os.makedirs(wal_dir, exist_ok=True)
+    session = open_session(algorithm="hdrf", partitions=4)
+    snapshot = session.snapshot()
+    snapshot.seq = 0
+    snapshot.save(wal_snapshot_path(str(wal_dir), "t"))
+    _write_wal(wal_path(str(wal_dir), "t"), batches)
+
+
+class TestRecoveryEdges:
+    def test_torn_wal_tail_skipped_on_recovery(self, tmp_path):
+        """Recovery over a torn WAL resumes from the intact prefix; the
+        client re-ingests the torn batch and parity holds."""
+        wal_dir = tmp_path / "wal"
+        batches = [EDGES[i:i + 40] for i in range(0, 200, 40)]
+        _seed_tenant(wal_dir, batches)
+        log = wal_path(str(wal_dir), "t")
+        with open(log, "r+b") as handle:  # tear the final record
+            handle.truncate(os.path.getsize(log) - 9)
+
+        daemon = SupervisedDaemon(wal_dir=str(wal_dir))
+        port = daemon.start()
+        try:
+            with ServiceClient(port=port) as client:
+                assert daemon.last_recovered() == {"t": 4}
+                seq = client.resume_seq("t")
+                assert seq == 4  # batch 5 was torn away
+                client.ingest("t", batches[4])  # re-ingest it
+                for start in range(200, len(EDGES), 40):
+                    client.ingest("t", EDGES[start:start + 40])
+                final = client.finalize("t")
+        finally:
+            daemon.shutdown()
+        reference = _reference(HDRFPartitioner, 4, EDGES)
+        assert final["assignments"] == _expected_triples(reference)
+
+    def test_topology_mismatch_refused(self, tmp_path):
+        wal_dir = tmp_path / "wal"
+        _seed_tenant(wal_dir, [EDGES[:10]])
+        session = open_session(algorithm="hdrf", partitions=8)
+        snapshot = session.snapshot()  # claims 8 partitions, WAL says 4
+        snapshot.seq = 0
+        snapshot.save(wal_snapshot_path(str(wal_dir), "t"))
+
+        async def boot():
+            await PartitionService(wal_dir=str(wal_dir)).start()
+
+        with pytest.raises(WALError, match="topology mismatch"):
+            asyncio.run(boot())
+
+    def test_wal_without_snapshot_refused(self, tmp_path):
+        wal_dir = tmp_path / "wal"
+        os.makedirs(wal_dir)
+        _write_wal(wal_path(str(wal_dir), "ghost"), [EDGES[:10]])
+
+        async def boot():
+            await PartitionService(wal_dir=str(wal_dir)).start()
+
+        with pytest.raises(WALError, match="without its snapshot"):
+            asyncio.run(boot())
+
+    def test_pre_seq_snapshot_still_loads(self, tmp_path):
+        """A snapshot pickled before the ``seq`` field existed restores
+        with a high-water mark of 0 (snapshot_dir compatibility)."""
+        snapshot_dir = tmp_path / "snapshots"
+        os.makedirs(snapshot_dir)
+        session = open_session(algorithm="hdrf", partitions=4)
+        session.ingest(EDGES[:50])
+        snapshot = session.snapshot()
+        delattr(snapshot, "seq")  # simulate an old pickle
+        snapshot.save(str(snapshot_dir / "legacy.snapshot"))
+
+        daemon = SupervisedDaemon(snapshot_dir=str(snapshot_dir))
+        port = daemon.start()
+        try:
+            with ServiceClient(port=port) as client:
+                tenants = client.tenants()
+                assert [t["tenant"] for t in tenants] == ["legacy"]
+                assert tenants[0]["edges_ingested"] == 50
+                stats = client.stats("legacy")
+                assert stats["accepted_seq"] == 0
+                assert stats["durability"]["wal"] is False
+        finally:
+            daemon.shutdown()
+
+
+class TestExactlyOnce:
+    """Seq/replay protocol through a live daemon (no crashes)."""
+
+    @pytest.fixture
+    def wal_daemon(self, tmp_path):
+        daemon = SupervisedDaemon(wal_dir=str(tmp_path / "wal"),
+                                  wal_compact_every=4, replay_depth=4)
+        port = daemon.start()
+        yield port, daemon
+        daemon.shutdown()
+
+    def test_duplicate_seq_replays_cached_response(self, wal_daemon):
+        port, _ = wal_daemon
+        with ServiceClient(port=port) as client:
+            client.open("t", algorithm="hdrf", partitions=4)
+            first = client.request({"op": "ingest", "tenant": "t",
+                                    "edges": EDGES[:30], "seq": 1})
+            again = client.request({"op": "ingest", "tenant": "t",
+                                    "edges": EDGES[:30], "seq": 1})
+            assert again["replayed"] is True
+            assert again["assignments"] == first["assignments"]
+            stats = client.stats("t")
+            assert stats["session"]["edges_ingested"] == 30  # applied once
+            assert stats["accepted_seq"] == stats["applied_seq"] == 1
+
+    def test_seq_gap_refused(self, wal_daemon):
+        port, _ = wal_daemon
+        with ServiceClient(port=port) as client:
+            client.open("t", algorithm="hdrf", partitions=4)
+            client.ingest("t", EDGES[:10])  # seq 1 via the client counter
+            with pytest.raises(ServiceError, match="seq gap"):
+                client.request({"op": "ingest", "tenant": "t",
+                                "edges": EDGES[:5], "seq": 7})
+
+    def test_evicted_seq_reports_clear_error(self, wal_daemon):
+        port, _ = wal_daemon  # replay_depth=4
+        with ServiceClient(port=port) as client:
+            client.open("t", algorithm="hdrf", partitions=4)
+            for seq in range(1, 7):
+                client.request({"op": "ingest", "tenant": "t",
+                                "edges": EDGES[seq:seq + 5], "seq": seq})
+            with pytest.raises(ServiceError, match="replay cache"):
+                client.request({"op": "ingest", "tenant": "t",
+                                "edges": EDGES[1:6], "seq": 1})
+
+    def test_compaction_bounds_wal_and_preserves_parity(self, wal_daemon):
+        """With wal_compact_every=4, the on-disk WAL stays short while
+        the stream's full history survives via snapshots."""
+        port, daemon = wal_daemon
+        with ServiceClient(port=port) as client:
+            client.open("t", algorithm="hdrf", partitions=4)
+            for start in range(0, len(EDGES), 40):
+                client.ingest("t", EDGES[start:start + 40])
+            stats = client.stats("t")
+            assert stats["durability"]["wal"] is True
+            assert stats["durability"]["compacted_seq"] >= 4
+            log = wal_path(daemon.kwargs["wal_dir"], "t")
+            _, records, torn = read_wal(log)
+            assert not torn
+            assert len(records) < 8  # compaction kept the log short
+            final = client.finalize("t")
+            assert not os.path.exists(log)  # finalize retires the WAL
+        reference = _reference(HDRFPartitioner, 4, EDGES)
+        assert final["assignments"] == _expected_triples(reference)
+
+    def test_graceful_stop_then_restart_resumes_from_wal_dir(
+            self, tmp_path):
+        """shutdown over a wal_dir compacts; a new daemon over the same
+        directory resumes (snapshot_dir not needed at all)."""
+        wal_dir = str(tmp_path / "wal")
+        daemon = SupervisedDaemon(wal_dir=wal_dir)
+        port = daemon.start()
+        cut = 600
+        with ServiceClient(port=port) as client:
+            client.open("t", algorithm="hdrf", partitions=4)
+            for start in range(0, cut, 60):
+                client.ingest("t", EDGES[start:start + 60])
+        daemon.shutdown()
+
+        daemon2 = SupervisedDaemon(wal_dir=wal_dir)
+        port2 = daemon2.start()
+        try:
+            with ServiceClient(port=port2) as client:
+                assert client.resume_seq("t") == cut // 60
+                for start in range(cut, len(EDGES), 60):
+                    client.ingest("t", EDGES[start:start + 60])
+                final = client.finalize("t")
+        finally:
+            daemon2.shutdown()
+        reference = _reference(HDRFPartitioner, 4, EDGES)
+        assert final["assignments"] == _expected_triples(reference)
