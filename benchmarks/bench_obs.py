@@ -1,0 +1,259 @@
+"""Observability overhead benchmark: enabled vs disabled, gated.
+
+``repro.obs`` promises that instrumentation is effectively free: disabled
+it must cost nothing (no-op singletons), and *enabled* it may cost at
+most a few percent, because every hot path is instrumented per batch /
+per superstep, never per edge.  This bench measures that promise on the
+two paths the ISSUE names:
+
+* ``adwise-w256`` — the fast array-window ADWISE configuration
+  (``fixed_window=256``) partitioning a power-law stream, and
+* ``service-ingest`` — a single-tenant daemon ingest run over TCP,
+  with the client inside a root span so every batch carries trace
+  context and the daemon emits one ``service.apply_batch`` span per
+  batch (the worst enabled case: metrics + tracing + wire overhead).
+
+Schema matches the other benches so ``tools/check_bench_regression.py``
+consumes it unchanged: ``legacy_eps`` is disabled throughput,
+``fast_eps`` is enabled throughput, ``speedup`` is their ratio (~1.0;
+the gate is the ≤3% overhead budget).  Runs are interleaved
+disabled/enabled pairs and the gate applies to the best pair — ambient
+load only ever slows a run, so the cleanest pair is the truest overhead
+estimate, while a structural regression degrades every pair.  Parity
+asserts assignments are bit-identical with observability on.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_obs.py                  # full
+    PYTHONPATH=src python benchmarks/bench_obs.py --smoke \
+        --check --repeats 3 --out bench_obs_smoke.json             # CI
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import threading
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), os.pardir, "src"))
+
+from repro import obs                                             # noqa: E402
+from repro.core.adwise import AdwisePartitioner                   # noqa: E402
+from repro.graph.generators import barabasi_albert_graph          # noqa: E402
+from repro.graph.graph import Edge                                # noqa: E402
+from repro.graph.stream import InMemoryEdgeStream                 # noqa: E402
+from repro.service.client import ServiceClient                    # noqa: E402
+from repro.service.server import run_service                      # noqa: E402
+
+NUM_PARTITIONS = 8
+WINDOW = 256
+
+#: The overhead budget: enabled must keep >= 97% of disabled throughput.
+GATES = {"adwise-w256": 0.97, "service-ingest": 0.97}
+
+
+def build_stream(smoke: bool):
+    if smoke:
+        name, n, m = "obs-overhead-smoke", 3_000, 4
+    else:
+        name, n, m = "obs-overhead", 12_000, 5
+    graph = barabasi_albert_graph(n=n, m=m, seed=5)
+    edges = [(e.u, e.v) for e in graph.edges()]
+    return name, edges
+
+
+def _reset_obs() -> None:
+    obs.disable()
+    obs.registry().reset()
+    obs.tracer().clear()
+
+
+def adwise_run(edges, enabled: bool):
+    """One ADWISE w=256 array-window run; returns (wall_s, assignments)."""
+    _reset_obs()
+    if enabled:
+        obs.enable()
+    partitioner = AdwisePartitioner(
+        list(range(NUM_PARTITIONS)), fast=True, fixed_window=WINDOW,
+        window_backend="array")
+    stream = InMemoryEdgeStream([Edge(u, v) for u, v in edges])
+    begin = time.perf_counter()
+    result = partitioner.partition_stream(stream)
+    wall = time.perf_counter() - begin
+    _reset_obs()
+    assignments = sorted([e.u, e.v, p]
+                         for e, p in result.assignments.items())
+    return wall, assignments
+
+
+def service_run(edges, batch_size: int, enabled: bool):
+    """One single-tenant daemon ingest run; returns (wall_s, assignments).
+
+    With observability enabled the client ingests inside a root span, so
+    every batch ships trace context and the daemon spans each apply —
+    the full enabled cost of the protocol path.
+    """
+    _reset_obs()
+    if enabled:
+        obs.enable()
+    ready = threading.Event()
+    bound = {}
+
+    def on_ready(service):
+        bound["port"] = service.port
+        ready.set()
+
+    thread = threading.Thread(
+        target=run_service,
+        kwargs=dict(port=0, queue_depth=16, ready_callback=on_ready),
+        daemon=True)
+    thread.start()
+    if not ready.wait(10):
+        raise RuntimeError("service did not start")
+    with ServiceClient(port=bound["port"]) as client:
+        client.open("bench", algorithm="hdrf", partitions=NUM_PARTITIONS,
+                    expected_edges=len(edges))
+        begin = time.perf_counter()
+        with obs.span("bench.ingest"):
+            pending = [client.ingest_async("bench",
+                                           edges[start:start + batch_size])
+                       for start in range(0, len(edges), batch_size)]
+            client.drain(pending)
+        wall = time.perf_counter() - begin
+        final = client.finalize("bench")
+        client.shutdown()
+    thread.join(10)
+    _reset_obs()
+    return wall, final["assignments"]
+
+
+def best_pair(pairs):
+    """The (disabled_wall, enabled_wall) pair with the best ratio."""
+    return max(pairs, key=lambda p: p[0] / p[1])
+
+
+def run_benchmark(smoke: bool, repeats: int, batch_size: int) -> dict:
+    workload, edges = build_stream(smoke)
+    results = []
+
+    # Untimed warm-up: the first run of each path pays one-off costs
+    # (imports, numpy kernel warm-up, socket setup) that would otherwise
+    # land entirely on the disabled side of the first pair and skew the
+    # ratio above 1.
+    adwise_run(edges, enabled=False)
+    service_run(edges, batch_size, enabled=False)
+
+    pairs, parity, reference = [], True, None
+    for _ in range(repeats):
+        off_wall, off_assign = adwise_run(edges, enabled=False)
+        on_wall, on_assign = adwise_run(edges, enabled=True)
+        if reference is None:
+            reference = off_assign
+        parity = parity and off_assign == reference and on_assign == reference
+        pairs.append((off_wall, on_wall))
+    off_wall, on_wall = best_pair(pairs)
+    off_eps, on_eps = len(edges) / off_wall, len(edges) / on_wall
+    results.append({
+        "algorithm": "adwise-w256",
+        "edges": len(edges),
+        "legacy_eps": off_eps,
+        "fast_eps": on_eps,
+        "speedup": on_eps / off_eps,
+        "parity": parity,
+    })
+
+    pairs, parity, reference = [], True, None
+    for _ in range(repeats):
+        off_wall, off_assign = service_run(edges, batch_size, enabled=False)
+        on_wall, on_assign = service_run(edges, batch_size, enabled=True)
+        if reference is None:
+            reference = off_assign
+        parity = parity and off_assign == reference and on_assign == reference
+        pairs.append((off_wall, on_wall))
+    off_wall, on_wall = best_pair(pairs)
+    off_eps, on_eps = len(edges) / off_wall, len(edges) / on_wall
+    results.append({
+        "algorithm": "service-ingest",
+        "edges": len(edges),
+        "batch_size": batch_size,
+        "legacy_eps": off_eps,
+        "fast_eps": on_eps,
+        "speedup": on_eps / off_eps,
+        "parity": parity,
+    })
+
+    return {
+        "workload": workload,
+        "smoke": smoke,
+        "edges": len(edges),
+        "batch_size": batch_size,
+        "num_partitions": NUM_PARTITIONS,
+        "window": WINDOW,
+        "gates": dict(GATES),
+        "results": results,
+    }
+
+
+def check(report: dict) -> list:
+    problems = []
+    gates = report["gates"]
+    for row in report["results"]:
+        if not row["parity"]:
+            problems.append(
+                f"{row['algorithm']}: enabling observability changed "
+                f"the assignments")
+        gate = gates.get(row["algorithm"])
+        if gate is not None and row["speedup"] < gate:
+            problems.append(
+                f"{row['algorithm']}: enabled/disabled ratio "
+                f"{row['speedup']:.3f} below gate {gate:.3f} "
+                f"(> {100 * (1 - gate):.0f}% overhead)")
+    return problems
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="small stream for CI")
+    parser.add_argument("--check", action="store_true",
+                        help="fail on parity break or gated ratio")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="interleaved disabled/enabled pairs "
+                             "(best pair gated)")
+    parser.add_argument("--batch-size", type=int, default=256,
+                        help="edges per service ingest request")
+    parser.add_argument("--out", default=None,
+                        help="write the JSON report here")
+    args = parser.parse_args(argv)
+
+    report = run_benchmark(args.smoke, max(1, args.repeats),
+                           args.batch_size)
+    print(f"workload: {report['workload']} ({report['edges']} edges)")
+    for row in report["results"]:
+        overhead = 100.0 * (1.0 - row["speedup"])
+        print(f"  {row['algorithm']:<16} ratio {row['speedup']:.3f} "
+              f"({overhead:+.1f}% overhead; {row['fast_eps']:.0f} e/s "
+              f"enabled vs {row['legacy_eps']:.0f} e/s disabled), "
+              f"parity {'ok' if row['parity'] else 'BROKEN'}")
+
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2)
+        print(f"report written to {args.out}")
+
+    if args.check:
+        problems = check(report)
+        if problems:
+            print("\nFAILURES:")
+            for problem in problems:
+                print(f"  - {problem}")
+            return 1
+        print("\nall gates passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

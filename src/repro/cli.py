@@ -135,6 +135,12 @@ def build_parser() -> argparse.ArgumentParser:
                        default="batch",
                        help="WAL fsync policy: every append (always), "
                             "batched (default), or page-cache only (off)")
+    serve.add_argument("--audit-depth", type=int, default=4096,
+                       help="per-tenant decision-log capacity (oldest "
+                            "entries drop beyond it; see the audit op)")
+    serve.add_argument("--metrics-window", type=int, default=1024,
+                       help="per-tenant latency histogram window: batch "
+                            "latencies retained for percentile queries")
 
     resume = sub.add_parser(
         "resume",
@@ -151,6 +157,18 @@ def build_parser() -> argparse.ArgumentParser:
                              "layout can resume it)")
     resume.add_argument("--max-supersteps", type=int, default=None,
                         help="override the original superstep budget")
+
+    top = sub.add_parser(
+        "top",
+        help="metrics view of a running daemon: service totals plus a "
+             "per-tenant table (Prometheus scrape under the hood)")
+    top.add_argument("--host", default="127.0.0.1")
+    top.add_argument("--port", type=int, default=7733)
+    top.add_argument("--raw", action="store_true",
+                     help="print the raw Prometheus text exposition "
+                          "(what a scraper would ingest) and exit")
+    top.add_argument("--watch", type=float, default=None,
+                     help="refresh every N seconds until interrupted")
 
     client = sub.add_parser(
         "client",
@@ -559,6 +577,10 @@ def _run_serve(args: argparse.Namespace) -> int:
     if args.wal_compact_every < 1:
         print("error: --wal-compact-every must be >= 1", file=sys.stderr)
         return 2
+    if args.audit_depth < 1 or args.metrics_window < 1:
+        print("error: --audit-depth and --metrics-window must be >= 1",
+              file=sys.stderr)
+        return 2
 
     def announce(service) -> None:
         durability = ("wal" if service.wal_dir is not None else
@@ -577,6 +599,8 @@ def _run_serve(args: argparse.Namespace) -> int:
                     wal_dir=args.wal_dir,
                     wal_compact_every=args.wal_compact_every,
                     fsync=args.fsync,
+                    audit_depth=args.audit_depth,
+                    metrics_window=args.metrics_window,
                     ready_callback=announce)
     except KeyboardInterrupt:  # pragma: no cover - interactive only
         pass
@@ -584,6 +608,86 @@ def _run_serve(args: argparse.Namespace) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     return 0
+
+
+def _parse_prometheus(text: str) -> dict:
+    """Parse text exposition into ``{(name, labels-tuple): value}``.
+
+    Just enough of the format for the ``top`` view: ``#``-comment lines
+    are skipped, labels are ``key="value"`` pairs with no escapes the
+    exporter doesn't itself produce.
+    """
+    series: dict = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        try:
+            key, value = line.rsplit(" ", 1)
+        except ValueError:
+            continue
+        name, labels = key, ()
+        if "{" in key and key.endswith("}"):
+            name, _, raw = key.partition("{")
+            labels = tuple(sorted(
+                (pair.split("=", 1)[0],
+                 pair.split("=", 1)[1].strip('"'))
+                for pair in raw[:-1].split(",") if "=" in pair))
+        try:
+            series[(name, labels)] = float(value)
+        except ValueError:
+            continue
+    return series
+
+
+def _render_top(text: str, tenants: list) -> None:
+    series = _parse_prometheus(text)
+
+    def scalar(name: str, **labels: str) -> float:
+        return series.get((name, tuple(sorted(labels.items()))), 0.0)
+
+    uptime = scalar("repro_service_uptime_seconds")
+    print(f"service: {len(tenants)} tenant(s), up {uptime:.1f}s")
+    header = (f"{'TENANT':<16} {'ALGO':<8} {'EDGES':>10} {'E/S':>9} "
+              f"{'QUEUE':>5} {'SEQ':>6} {'P99MS':>7} {'DUR':>4}")
+    print(header)
+    for info in sorted(tenants, key=lambda t: t["tenant"]):
+        name = info["tenant"]
+        eps = scalar("repro_tenant_edges_per_second", tenant=name)
+        p99_s = scalar("repro_tenant_ingest_latency_seconds",
+                       quantile="0.99", tenant=name)
+        print(f"{name:<16} {info['algorithm']:<8} "
+              f"{info['edges_ingested']:>10} {eps:>9.0f} "
+              f"{info['queue_depth']:>5} {info['applied_seq']:>6} "
+              f"{p99_s * 1000.0:>7.2f} "
+              f"{'wal' if info['durable'] else '-':>4}")
+
+
+def _run_top(args: argparse.Namespace) -> int:
+    import time as _time
+
+    from repro.service.client import ServiceClient, ServiceError
+
+    if args.watch is not None and args.watch <= 0:
+        print("error: --watch must be positive", file=sys.stderr)
+        return 2
+    try:
+        with ServiceClient(host=args.host, port=args.port) as client:
+            while True:
+                text = client.metrics_text()
+                if args.raw:
+                    print(text, end="")
+                else:
+                    _render_top(text, client.tenants())
+                if args.watch is None:
+                    return 0
+                _time.sleep(args.watch)
+                print()
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        return 0
+    except (ServiceError, ConnectionError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 def _run_client(args: argparse.Namespace) -> int:
@@ -652,6 +756,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _run_resume(args)
     if args.command == "serve":
         return _run_serve(args)
+    if args.command == "top":
+        return _run_top(args)
     if args.command == "client":
         return _run_client(args)
     return 2  # pragma: no cover - argparse enforces the choices

@@ -55,6 +55,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Optional
 
+from repro import obs
 from repro.cluster.checkpoint import (
     CheckpointState,
     CheckpointStore,
@@ -477,8 +478,12 @@ class ClusterEngine:
                             converged = True
                             break
                         step_start = time.perf_counter()
-                        result = transport.step(superstep,
-                                                self.fault_injector)
+                        with obs.span("cluster.superstep",
+                                      backend=transport.backend,
+                                      superstep=superstep,
+                                      active=computed):
+                            result = transport.step(superstep,
+                                                    self.fault_injector)
                         wall_ms = (time.perf_counter() - step_start) * 1000.0
                         active_fraction = (computed / num_vertices
                                            if num_vertices else 0.0)
@@ -487,6 +492,26 @@ class ClusterEngine:
                         aggregates.append(result.aggregate)
                         total_messages += result.sent
                         stats: SyncStats = result.stats
+                        if obs.is_enabled():
+                            # SyncStats re-expressed as registry series —
+                            # the dataclass itself stays untouched, so the
+                            # measured-vs-predicted suites see identical
+                            # values.
+                            backend = transport.backend
+                            obs.counter("repro_cluster_supersteps_total",
+                                        backend=backend).inc()
+                            obs.counter("repro_cluster_remote_messages_total",
+                                        backend=backend
+                                        ).inc(stats.remote_messages)
+                            obs.counter("repro_cluster_local_messages_total",
+                                        backend=backend
+                                        ).inc(stats.local_messages)
+                            obs.counter("repro_cluster_payload_bytes_total",
+                                        backend=backend
+                                        ).inc(stats.payload_bytes)
+                            obs.histogram("repro_cluster_superstep_seconds",
+                                          backend=backend
+                                          ).observe(wall_ms / 1000.0)
                         telemetry.append(SuperstepTelemetry(
                             superstep=superstep,
                             computed=computed,

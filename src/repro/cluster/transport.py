@@ -62,6 +62,7 @@ from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.cluster.faults import FaultInjector, WorkerDied
 from repro.engine.dense import DenseKernel
 from repro.engine.vertex_program import VertexProgram
@@ -538,6 +539,10 @@ def _cluster_worker(conn, inherited, shards: List[Shard],
         except OSError:  # pragma: no cover - already closed
             pass
     group = ShardGroup(shards, program, machine_of, host_of, host)
+    # Trace context of the most recent "step" command: gather/scatter
+    # commands belong to the same coordinator superstep, so their spans
+    # parent to it too.
+    step_ctx = None
     while True:
         try:
             message = conn.recv()
@@ -550,17 +555,29 @@ def _cluster_worker(conn, inherited, shards: List[Shard],
             if op == "mask":
                 conn.send(group.compute_owned())
             elif op == "step":
-                result = group.step(message[1])
-                outbound = (group.collect_gathers()
-                            if result.syncing else {})
+                # The coordinator appends its span context to the command
+                # only while tracing — the pickled message is unchanged
+                # otherwise.
+                step_ctx = message[2] if len(message) > 2 else None
+                with obs.use_context(step_ctx), \
+                        obs.span("cluster.worker_step", host=host,
+                                 superstep=message[1]):
+                    result = group.step(message[1])
+                    outbound = (group.collect_gathers()
+                                if result.syncing else {})
                 conn.send((result.sent, result.aggregate,
                            result.compute_seconds, result.syncing,
                            outbound))
             elif op == "gather":
-                group.apply_gathers(message[1])
-                conn.send(group.collect_scatters())
+                with obs.use_context(step_ctx), \
+                        obs.span("cluster.worker_gather", host=host):
+                    group.apply_gathers(message[1])
+                    outbound = group.collect_scatters()
+                conn.send(outbound)
             elif op == "scatter":
-                group.apply_scatters(message[1])
+                with obs.use_context(step_ctx), \
+                        obs.span("cluster.worker_scatter", host=host):
+                    group.apply_scatters(message[1])
                 conn.send(group.stats)
             elif op == "states":
                 conn.send(group.states())
@@ -705,7 +722,14 @@ class ProcessTransport:
     def step(self, superstep: int,
              injector: Optional[FaultInjector] = None
              ) -> TransportStepResult:
-        replies = self._broadcast(("step", superstep))
+        command = ("step", superstep)
+        if obs.is_enabled():
+            # Ship the coordinator's span context across the pickle
+            # boundary so worker spans join this trace.
+            ctx = obs.current_context()
+            if ctx is not None:
+                command = ("step", superstep, ctx)
+        replies = self._broadcast(command)
         sent = sum(reply[0] for reply in replies.values())
         aggregate = _reduce_aggregates(
             replies[host][1] for host in sorted(replies))

@@ -30,6 +30,7 @@ from __future__ import annotations
 
 from typing import Iterable, List, Optional, Sequence
 
+from repro import obs
 from repro.graph.graph import Edge
 from repro.graph.stream import EdgeStream
 from repro.core.adaptive import (
@@ -241,15 +242,24 @@ class AdwisePartitioner(StreamingPartitioner):
         if not self._streaming:
             self.begin()
         pending = self._pending
+        added = 0
         for edge in edges:
             pending.append(edge.canonical())
-        return self._pump(force=False)
+            added += 1
+        with obs.span("partition.ingest", algorithm=self.name):
+            out = self._pump(force=False)
+        obs.counter("repro_partition_edges_total",
+                    algorithm=self.name).inc(added)
+        obs.counter("repro_partition_batches_total",
+                    algorithm=self.name).inc()
+        return out
 
     def finalize(self) -> PartitionResult:
         """End of stream: drain the pending buffer and the window."""
         if not self._streaming:
             self.begin()
-        self._pump(force=True)
+        with obs.span("partition.finalize", algorithm=self.name):
+            self._pump(force=True)
         result = super().finalize()
         result.extras["max_window"] = float(self.controller.max_window_reached)
         result.extras["final_window"] = float(self.controller.window_size)
@@ -257,6 +267,37 @@ class AdwisePartitioner(StreamingPartitioner):
         if self.scoring.balancer is not None:
             result.extras["final_lambda"] = self.scoring.balancer.value
         return result
+
+    def _publish_observability(self, result: PartitionResult) -> None:
+        """Base series plus window-engine tallies and memo hit-rates."""
+        super()._publish_observability(result)
+        if not obs.is_enabled():
+            return
+        window = self.window
+        backend = type(window).__name__
+        labels = {"algorithm": self.name, "backend": backend}
+        obs.counter("repro_window_refills_total",
+                    **labels).inc(getattr(window, "stat_refills", 0))
+        obs.counter("repro_window_pops_total",
+                    **labels).inc(getattr(window, "stat_pops", 0))
+        obs.counter("repro_window_promotions_total",
+                    **labels).inc(getattr(window, "promotions", 0))
+        rescored = getattr(window, "stat_rescored_slots", 0)
+        obs.counter("repro_window_rescored_slots_total",
+                    **labels).inc(rescored)
+        for component, recomputed in (
+                ("replication", getattr(window, "stat_rep_recomputed", 0)),
+                ("clustering", getattr(window, "stat_cs_recomputed", 0))):
+            obs.counter("repro_window_memo_misses_total", component=component,
+                        **labels).inc(recomputed)
+            if rescored:
+                obs.gauge("repro_window_memo_hit_rate", component=component,
+                          **labels).set(1.0 - recomputed / rescored)
+        if self.controller is not None:
+            obs.gauge("repro_window_size",
+                      algorithm=self.name).set(self.controller.window_size)
+            obs.gauge("repro_window_max_size_reached", algorithm=self.name
+                      ).set(self.controller.max_window_reached)
 
     def _pump(self, force: bool) -> List[Assignment]:
         """Refill → pop → adapt until input runs out (Algorithm 1).

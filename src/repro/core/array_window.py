@@ -127,6 +127,20 @@ class ArrayEdgeWindow:
         self._version = 0  # bumped after each pop (i.e. each assignment)
         #: Secondary→candidate promotions performed by rules 2 and 3.
         self.promotions = 0
+        # Observability tallies (plain ints: near-zero hot-path cost).
+        # Published to the repro.obs registry by the partitioner at
+        # finalize time; never part of results/extras, so differential
+        # parity with the object window is untouched.
+        #: Edges admitted into the window (refills).
+        self.stat_refills = 0
+        #: ``pop_best`` calls (assignments emitted).
+        self.stat_pops = 0
+        #: Slots rescored through the batched component path.
+        self.stat_rescored_slots = 0
+        #: Replication components actually recomputed (memo misses).
+        self.stat_rep_recomputed = 0
+        #: Clustering components actually recomputed (memo misses).
+        self.stat_cs_recomputed = 0
 
     # ------------------------------------------------------------------
     # Introspection (EdgeWindow API)
@@ -361,6 +375,8 @@ class ArrayEdgeWindow:
                 dirty_rep.append(slot)
                 rep_us.append(edge.u)
                 rep_vs.append(edge.v)
+        self.stat_rescored_slots += len(slot_list)
+        self.stat_rep_recomputed += len(dirty_rep)
         if dirty_rep:
             self._rep[dirty_rep] = scoring.replication_batch(rep_us, rep_vs)
             for slot in dirty_rep:
@@ -377,6 +393,7 @@ class ArrayEdgeWindow:
                 dirty_cs.append(slot)
                 cs_counts.append(len(nbrs))
                 cs_concat.extend(nbrs)
+            self.stat_cs_recomputed += len(dirty_cs)
             if dirty_cs:
                 self._cs[dirty_cs] = scoring.clustering_batch(
                     cs_concat, np.asarray(cs_counts, dtype=np.int64))
@@ -504,6 +521,8 @@ class ArrayEdgeWindow:
         new._score_sum = window._score_sum
         new._version = window._version
         new.promotions = window.promotions
+        new.stat_refills = getattr(window, "stat_refills", 0)
+        new.stat_pops = getattr(window, "stat_pops", 0)
         return new
 
     # ------------------------------------------------------------------
@@ -530,6 +549,7 @@ class ArrayEdgeWindow:
             return []
         if n == 1:
             return [self._add_one(edges[0], observe)]
+        self.stat_refills += n
         state = self.scoring.state
         degree_of = state.degree_of
         slot_list: List[int] = []
@@ -610,6 +630,7 @@ class ArrayEdgeWindow:
         edge) and seeds the slot's component memos with the freshly
         computed R/CS vectors.
         """
+        self.stat_refills += 1
         if observe is not None:
             observe(edge)
         scoring = self.scoring
@@ -720,6 +741,7 @@ class ArrayEdgeWindow:
         """
         if self._count == 0:
             raise IndexError("pop_best from an empty window")
+        self.stat_pops += 1
         if self._num_candidates == 0:
             self._rescore_secondary()
         slots = self._sorted_slots(candidate=True)

@@ -116,6 +116,13 @@ class EdgeWindow:
         self._version = 0  # bumped after each pop (i.e. each assignment)
         #: Secondary→candidate promotions performed by rules 2 and 3.
         self.promotions = 0
+        # Observability tallies, mirroring ArrayEdgeWindow's (published
+        # to the repro.obs registry at finalize; never part of extras).
+        self.stat_refills = 0
+        self.stat_pops = 0
+        self.stat_rescored_slots = 0
+        self.stat_rep_recomputed = 0
+        self.stat_cs_recomputed = 0
 
     # ------------------------------------------------------------------
     # Introspection
@@ -245,6 +252,7 @@ class EdgeWindow:
     # ------------------------------------------------------------------
     def add(self, edge: Edge) -> int:
         """Insert ``edge``; score it once and classify it; return entry id."""
+        self.stat_refills += 1
         entry_id = self._next_id
         self._next_id += 1
         score, partition = self._best_assignment(edge)
@@ -330,6 +338,7 @@ class EdgeWindow:
         """
         if not self._entries:
             raise IndexError("pop_best from an empty window")
+        self.stat_pops += 1
         if not self._candidates:
             self._rescore_secondary()
         # Every entry lives in C or Q, and rule 2 promotes at least one

@@ -26,6 +26,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Set
 
+from repro import obs
 from repro.graph.graph import Graph
 from repro.graph.csr import CSRGraph
 from repro.engine.cost import CostModel, SuperstepCost
@@ -139,32 +140,39 @@ class Engine:
             # One recycled Context per superstep (``Context._reset``)
             # instead of an allocation per vertex.
             ctx = Context(superstep, num_vertices)
-            for vertex in compute_set:
-                messages = inbox.get(vertex, [])
-                states[vertex] = compute(
-                    vertex, states[vertex], messages, known[vertex], ctx)
-                outbox = ctx.outbox
-                for target, message in outbox:
-                    if target not in known:
-                        raise KeyError(
-                            f"message to unknown vertex {target} "
-                            f"from {vertex}")
-                    if use_combiner:
-                        if target in next_inbox:
-                            next_inbox[target][0] = program.combine(
-                                next_inbox[target][0], message)
+            with obs.span("engine.superstep", mode="object",
+                          program=program.name, superstep=superstep,
+                          active=len(compute_set)):
+                for vertex in compute_set:
+                    messages = inbox.get(vertex, [])
+                    states[vertex] = compute(
+                        vertex, states[vertex], messages, known[vertex], ctx)
+                    outbox = ctx.outbox
+                    for target, message in outbox:
+                        if target not in known:
+                            raise KeyError(
+                                f"message to unknown vertex {target} "
+                                f"from {vertex}")
+                        if use_combiner:
+                            if target in next_inbox:
+                                next_inbox[target][0] = program.combine(
+                                    next_inbox[target][0], message)
+                            else:
+                                next_inbox[target] = [message]
                         else:
-                            next_inbox[target] = [message]
-                    else:
-                        next_inbox.setdefault(target, []).append(message)
-                sent_this_step += len(outbox)
-                if not ctx.halted:
-                    next_active.add(vertex)
-                contribution = program.aggregate(vertex, states[vertex])
-                if contribution is not None:
-                    aggregate = (contribution if aggregate is None
-                                 else aggregate + contribution)
-                ctx._reset()
+                            next_inbox.setdefault(target, []).append(message)
+                    sent_this_step += len(outbox)
+                    if not ctx.halted:
+                        next_active.add(vertex)
+                    contribution = program.aggregate(vertex, states[vertex])
+                    if contribution is not None:
+                        aggregate = (contribution if aggregate is None
+                                     else aggregate + contribution)
+                    ctx._reset()
+            obs.counter("repro_engine_supersteps_total",
+                        mode="object", program=program.name).inc()
+            obs.counter("repro_engine_messages_total", mode="object",
+                        program=program.name).inc(sent_this_step)
             active_fraction = (len(compute_set) / num_vertices
                                if num_vertices else 0.0)
             costs.append(self.cost_model.superstep_cost(
@@ -211,7 +219,14 @@ class Engine:
             if computed == 0:
                 converged = True
                 break
-            sent, aggregate = kernel.step(superstep, mask)
+            with obs.span("engine.superstep", mode="dense",
+                          program=program.name, superstep=superstep,
+                          active=computed):
+                sent, aggregate = kernel.step(superstep, mask)
+            obs.counter("repro_engine_supersteps_total",
+                        mode="dense", program=program.name).inc()
+            obs.counter("repro_engine_messages_total",
+                        mode="dense", program=program.name).inc(int(sent))
             active_fraction = (computed / num_vertices
                                if num_vertices else 0.0)
             costs.append(self.cost_model.superstep_cost(

@@ -1,0 +1,233 @@
+"""Exporters: Prometheus text exposition, JSONL dumps, Chrome/Perfetto
+trace conversion and a human span-tree renderer.
+
+All exporters consume the *snapshot* form (plain dicts) so they work
+identically on the live registry, a pickled worker snapshot, or a JSONL
+sink file read back from disk.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Union
+
+from .registry import MetricsRegistry, nearest_rank
+
+__all__ = [
+    "prometheus_text",
+    "registry_jsonl",
+    "dump_jsonl",
+    "chrome_trace_events",
+    "write_chrome_trace",
+    "load_trace_jsonl",
+    "render_tree",
+]
+
+SnapshotLike = Union[MetricsRegistry, Dict[str, list]]
+
+
+def _as_snapshot(source: SnapshotLike) -> Dict[str, list]:
+    if isinstance(source, MetricsRegistry):
+        return source.snapshot()
+    return source
+
+
+def _label_str(labels: Dict[str, str], extra: Optional[Dict[str, str]] = None) -> str:
+    merged = dict(labels)
+    if extra:
+        merged.update(extra)
+    if not merged:
+        return ""
+    inner = ",".join(
+        '%s="%s"' % (k, str(v).replace("\\", "\\\\").replace('"', '\\"'))
+        for k, v in sorted(merged.items())
+    )
+    return "{%s}" % inner
+
+
+def _fmt(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    as_float = float(value)
+    if as_float == int(as_float) and abs(as_float) < 1e15:
+        return str(int(as_float))
+    return repr(as_float)
+
+
+def prometheus_text(source: SnapshotLike) -> str:
+    """Render a registry (or snapshot) in Prometheus text exposition format.
+
+    Histograms emit the standard ``_bucket``/``_sum``/``_count`` triplet
+    plus exact ``quantile``-labeled gauges (p50/p99) computed from the
+    retained sample window.
+    """
+    snap = _as_snapshot(source)
+    lines: List[str] = []
+    seen_types: set = set()
+
+    def type_line(name: str, kind: str) -> None:
+        if name not in seen_types:
+            seen_types.add(name)
+            lines.append("# TYPE %s %s" % (name, kind))
+
+    for entry in snap.get("counters", []):
+        type_line(entry["name"], "counter")
+        lines.append(
+            "%s%s %s" % (entry["name"], _label_str(entry["labels"]), _fmt(entry["value"]))
+        )
+    for entry in snap.get("gauges", []):
+        type_line(entry["name"], "gauge")
+        lines.append(
+            "%s%s %s" % (entry["name"], _label_str(entry["labels"]), _fmt(entry["value"]))
+        )
+    for entry in snap.get("histograms", []):
+        name = entry["name"]
+        labels = entry["labels"]
+        type_line(name, "histogram")
+        cumulative = 0
+        for bound, count in zip(entry["bounds"], entry["bucket_counts"]):
+            cumulative += count
+            lines.append(
+                "%s_bucket%s %d"
+                % (name, _label_str(labels, {"le": _fmt(bound)}), cumulative)
+            )
+        cumulative += entry["bucket_counts"][len(entry["bounds"])] if len(
+            entry["bucket_counts"]
+        ) > len(entry["bounds"]) else 0
+        lines.append(
+            "%s_bucket%s %d" % (name, _label_str(labels, {"le": "+Inf"}), cumulative)
+        )
+        lines.append("%s_sum%s %s" % (name, _label_str(labels), _fmt(entry["sum"])))
+        lines.append("%s_count%s %d" % (name, _label_str(labels), entry["count"]))
+        window = sorted(entry.get("samples", []))
+        for fraction, tag in ((0.5, "0.5"), (0.99, "0.99")):
+            lines.append(
+                "%s%s %s"
+                % (
+                    name,
+                    _label_str(labels, {"quantile": tag}),
+                    _fmt(nearest_rank(window, fraction)),
+                )
+            )
+    return "\n".join(lines) + "\n"
+
+
+def registry_jsonl(source: SnapshotLike) -> str:
+    """One JSON line per series — the offline-diffing format."""
+    snap = _as_snapshot(source)
+    lines: List[str] = []
+    for kind in ("counters", "gauges", "histograms"):
+        for entry in snap.get(kind, []):
+            record = dict(entry)
+            record["kind"] = kind[:-1]
+            lines.append(json.dumps(record, sort_keys=True, separators=(",", ":")))
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def dump_jsonl(source: SnapshotLike, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(registry_jsonl(source))
+
+
+# ----------------------------------------------------------------------
+# Trace export
+# ----------------------------------------------------------------------
+
+
+def chrome_trace_events(spans: Iterable[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    """Convert finished spans to Chrome trace 'X' (complete) events.
+
+    The output loads directly in Perfetto / chrome://tracing; trace and
+    span ids ride along in ``args`` so cross-process parentage stays
+    inspectable.
+    """
+    events: List[Dict[str, Any]] = []
+    for span in spans:
+        args = dict(span.get("attrs", {}))
+        args["trace_id"] = span.get("trace_id", "")
+        args["span_id"] = span.get("span_id", "")
+        if span.get("parent_id"):
+            args["parent_id"] = span["parent_id"]
+        if span.get("error"):
+            args["error"] = span["error"]
+        events.append(
+            {
+                "name": span["name"],
+                "cat": "repro",
+                "ph": "X",
+                "ts": span["ts_us"],
+                "dur": max(1, span.get("dur_us", 1)),
+                "pid": span.get("pid", 0),
+                "tid": span.get("tid", 0),
+                "args": args,
+            }
+        )
+    return events
+
+
+def write_chrome_trace(path: str, spans: Iterable[Dict[str, Any]]) -> None:
+    payload = {"traceEvents": chrome_trace_events(spans), "displayTimeUnit": "ms"}
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=1)
+
+
+def load_trace_jsonl(path: str) -> List[Dict[str, Any]]:
+    """Read a span sink file (one JSON span per line) back into memory."""
+    spans: List[Dict[str, Any]] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                spans.append(json.loads(line))
+    return spans
+
+
+def render_tree(spans: Sequence[Dict[str, Any]]) -> str:
+    """Human-readable parent/child tree of one or more traces.
+
+    Spans from several processes interleave by wall-clock start; orphans
+    (parent span not captured locally) render as roots with a marker.
+    """
+    by_id = {span["span_id"]: span for span in spans}
+    children: Dict[Optional[str], List[Dict[str, Any]]] = {}
+    for span in spans:
+        parent = span.get("parent_id")
+        if parent is not None and parent not in by_id:
+            parent = None  # orphan: remote parent not in this capture
+        children.setdefault(parent, []).append(span)
+    for bucket in children.values():
+        bucket.sort(key=lambda s: (s.get("ts_us", 0), s.get("span_id", "")))
+
+    lines: List[str] = []
+
+    def walk(span: Dict[str, Any], depth: int) -> None:
+        dur_ms = span.get("dur_us", 0) / 1000.0
+        marker = ""
+        if span.get("parent_id") and span["parent_id"] not in by_id:
+            marker = " [remote-parent %s]" % span["parent_id"]
+        attrs = span.get("attrs") or {}
+        attr_text = (
+            " " + " ".join("%s=%s" % (k, v) for k, v in sorted(attrs.items()))
+            if attrs
+            else ""
+        )
+        lines.append(
+            "%s%s %.3fms pid=%s%s%s"
+            % ("  " * depth, span["name"], dur_ms, span.get("pid", "?"), attr_text, marker)
+        )
+        for child in children.get(span["span_id"], []):
+            walk(child, depth + 1)
+
+    roots = children.get(None, [])
+    traces = sorted({span.get("trace_id", "") for span in spans})
+    multi = len(traces) > 1
+    for trace_id in traces:
+        if multi:
+            lines.append("trace %s" % trace_id)
+        for root in roots:
+            if root.get("trace_id", "") == trace_id:
+                walk(root, 1 if multi else 0)
+    return "\n".join(lines)

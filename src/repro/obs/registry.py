@@ -1,0 +1,335 @@
+"""Process-local metrics registry: counters, gauges, histograms.
+
+Design constraints (see DESIGN.md §13):
+
+* **Disabled by default, zero-allocation when off.**  Call sites fetch
+  instrument handles through :func:`repro.obs.counter` / ``gauge`` /
+  ``histogram``; when observability is disabled those helpers return the
+  module-level no-op singletons, so hot paths pay one attribute call on a
+  shared object and allocate nothing.
+* **Exact recent percentiles.**  Histograms keep a bounded numpy ring of
+  raw samples alongside cumulative bucket counts, so ``p50``/``p99`` over
+  the retained window are exact (nearest-rank), while the bucket counts
+  give the cumulative view Prometheus expects.
+* **Mergeable snapshots.**  ``MetricsRegistry.snapshot()`` returns a plain
+  picklable dict that a coordinator can ``merge_snapshot()`` from worker
+  processes; counters sum, gauges last-write, histograms merge counts and
+  concatenate retained samples.
+
+Increments are not individually locked: CPython's GIL makes the races
+benign (a lost increment under pathological contention, never corruption),
+and metrics here are diagnostics, not accounting.  Series *creation* is
+locked so label fan-out from threads is safe.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NOOP_COUNTER",
+    "NOOP_GAUGE",
+    "NOOP_HISTOGRAM",
+    "nearest_rank",
+    "DEFAULT_BUCKETS",
+]
+
+# Log-spaced latency buckets in seconds: 10 µs .. 10 s, then +Inf.
+DEFAULT_BUCKETS: Tuple[float, ...] = tuple(
+    round(10.0 ** exp, 10) for exp in [x / 2.0 for x in range(-10, 3)]
+)
+
+
+def nearest_rank(ordered: Sequence[float], fraction: float) -> float:
+    """Exact nearest-rank percentile of an already-sorted sequence.
+
+    The canonical definition: the smallest value such that at least
+    ``fraction`` of the samples are <= it.  ``fraction`` is clamped into
+    ``[0, 1]``; an empty sequence yields ``0.0`` so callers can render
+    idle series without guards.
+    """
+    n = len(ordered)
+    if n == 0:
+        return 0.0
+    if fraction <= 0.0:
+        return float(ordered[0])
+    if fraction >= 1.0:
+        return float(ordered[-1])
+    rank = max(0, math.ceil(fraction * n) - 1)
+    return float(ordered[min(rank, n - 1)])
+
+
+class Counter:
+    """Monotonically increasing counter."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """Point-in-time value (queue depths, window sizes, ...)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+
+class Histogram:
+    """Bucketed histogram with an exact recent-sample window.
+
+    ``observe()`` feeds both a cumulative bucket vector (numpy
+    ``searchsorted`` against log-spaced bounds) and a bounded ring of raw
+    samples; ``percentile()`` is exact nearest-rank over the ring, which
+    is what the service's ``TenantMetrics`` delegates to.
+    """
+
+    __slots__ = (
+        "bounds",
+        "bucket_counts",
+        "count",
+        "total",
+        "min",
+        "max",
+        "window",
+        "_samples",
+        "_cursor",
+        "_filled",
+    )
+
+    def __init__(
+        self,
+        window: int = 1024,
+        bounds: Optional[Iterable[float]] = None,
+    ) -> None:
+        if window <= 0:
+            raise ValueError("histogram window must be positive")
+        self.bounds = np.asarray(
+            sorted(bounds) if bounds is not None else DEFAULT_BUCKETS,
+            dtype=np.float64,
+        )
+        # One slot per finite bound plus the +Inf overflow bucket.
+        self.bucket_counts = np.zeros(len(self.bounds) + 1, dtype=np.int64)
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self.window = int(window)
+        self._samples = np.zeros(self.window, dtype=np.float64)
+        self._cursor = 0
+        self._filled = 0
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        idx = int(np.searchsorted(self.bounds, value, side="left"))
+        self.bucket_counts[idx] += 1
+        self._samples[self._cursor] = value
+        self._cursor = (self._cursor + 1) % self.window
+        if self._filled < self.window:
+            self._filled += 1
+
+    def samples(self) -> np.ndarray:
+        """The retained window of raw samples, unordered."""
+        return self._samples[: self._filled].copy()
+
+    def percentile(self, fraction: float) -> float:
+        """Exact nearest-rank percentile over the retained window."""
+        if self._filled == 0:
+            return 0.0
+        window = np.sort(self._samples[: self._filled])
+        return nearest_rank(window, fraction)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def snapshot_entry(self, name: str, labels: Dict[str, str]) -> Dict[str, object]:
+        """Plain-dict form of this histogram, as one snapshot series."""
+        return {
+            "name": name,
+            "labels": dict(labels),
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min if self.count else 0.0,
+            "max": self.max if self.count else 0.0,
+            "bounds": [float(b) for b in self.bounds],
+            "bucket_counts": [int(c) for c in self.bucket_counts],
+            "window": self.window,
+            "samples": [float(s) for s in self.samples()],
+        }
+
+
+class _NoopInstrument:
+    """Shared do-nothing instrument returned while observability is off.
+
+    A single stateless instance stands in for every counter, gauge and
+    histogram, so disabled call sites never allocate.
+    """
+
+    __slots__ = ()
+
+    value = 0.0
+    count = 0
+    total = 0.0
+    mean = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def dec(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def percentile(self, fraction: float) -> float:
+        return 0.0
+
+    def samples(self) -> List[float]:
+        return []
+
+
+NOOP_COUNTER = _NoopInstrument()
+NOOP_GAUGE = NOOP_COUNTER
+NOOP_HISTOGRAM = NOOP_COUNTER
+
+_LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: Dict[str, object]) -> _LabelKey:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+class MetricsRegistry:
+    """Keyed store of labeled series.
+
+    Series are identified by ``(name, sorted labels)``; repeated lookups
+    return the same instrument so handles can be cached at call sites.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[Tuple[str, _LabelKey], Counter] = {}
+        self._gauges: Dict[Tuple[str, _LabelKey], Gauge] = {}
+        self._histograms: Dict[Tuple[str, _LabelKey], Histogram] = {}
+
+    def counter(self, name: str, **labels: object) -> Counter:
+        key = (name, _label_key(labels))
+        series = self._counters.get(key)
+        if series is None:
+            with self._lock:
+                series = self._counters.setdefault(key, Counter())
+        return series
+
+    def gauge(self, name: str, **labels: object) -> Gauge:
+        key = (name, _label_key(labels))
+        series = self._gauges.get(key)
+        if series is None:
+            with self._lock:
+                series = self._gauges.setdefault(key, Gauge())
+        return series
+
+    def histogram(
+        self,
+        name: str,
+        window: int = 1024,
+        bounds: Optional[Iterable[float]] = None,
+        **labels: object,
+    ) -> Histogram:
+        key = (name, _label_key(labels))
+        series = self._histograms.get(key)
+        if series is None:
+            with self._lock:
+                series = self._histograms.setdefault(
+                    key, Histogram(window=window, bounds=bounds)
+                )
+        return series
+
+    def reset(self) -> None:
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+
+    # ------------------------------------------------------------------
+    # Snapshot / merge (cross-process aggregation)
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, list]:
+        """Plain picklable view of every series, for cross-process merge."""
+        counters = [
+            {"name": name, "labels": dict(key), "value": series.value}
+            for (name, key), series in sorted(self._counters.items())
+        ]
+        gauges = [
+            {"name": name, "labels": dict(key), "value": series.value}
+            for (name, key), series in sorted(self._gauges.items())
+        ]
+        histograms = [
+            series.snapshot_entry(name, dict(key))
+            for (name, key), series in sorted(self._histograms.items())
+        ]
+        return {"counters": counters, "gauges": gauges, "histograms": histograms}
+
+    def merge_snapshot(self, snap: Dict[str, list]) -> None:
+        """Fold a snapshot from another process into this registry.
+
+        Counters and histogram totals add; gauges take the snapshot's
+        value (last write wins); histogram sample windows concatenate,
+        keeping the most recent ``window`` samples.
+        """
+        for entry in snap.get("counters", []):
+            self.counter(entry["name"], **entry["labels"]).inc(entry["value"])
+        for entry in snap.get("gauges", []):
+            self.gauge(entry["name"], **entry["labels"]).set(entry["value"])
+        for entry in snap.get("histograms", []):
+            series = self.histogram(
+                entry["name"],
+                window=entry.get("window", 1024),
+                bounds=entry.get("bounds"),
+                **entry["labels"],
+            )
+            incoming = np.asarray(entry.get("bucket_counts", []), dtype=np.int64)
+            if len(incoming) == len(series.bucket_counts):
+                series.bucket_counts += incoming
+            series.count += int(entry.get("count", 0))
+            series.total += float(entry.get("sum", 0.0))
+            if entry.get("count"):
+                series.min = min(series.min, float(entry.get("min", series.min)))
+                series.max = max(series.max, float(entry.get("max", series.max)))
+            for value in entry.get("samples", []):
+                series._samples[series._cursor] = value
+                series._cursor = (series._cursor + 1) % series.window
+                if series._filled < series.window:
+                    series._filled += 1

@@ -22,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence
 
+from repro import obs
 from repro.graph.graph import Edge
 from repro.graph.stream import EdgeStream
 from repro.partitioning.fast_state import FastPartitionState
@@ -155,6 +156,8 @@ class StreamingPartitioner:
         self._streaming = True
         self._assignments = {}
         self._start_ms = self.clock.now()
+        obs.counter("repro_partition_streams_total",
+                    algorithm=self.name).inc()
 
     def ingest(self, edges: Iterable[Edge]) -> List[Assignment]:
         """Consume a slice of the stream; return the decisions emitted.
@@ -169,11 +172,16 @@ class StreamingPartitioner:
             self.begin()
         out: List[Assignment] = []
         assignments = self._assignments
-        for edge in edges:
-            canon = edge.canonical()
-            partition = self.partition_edge(canon)
-            assignments[canon] = partition
-            out.append(Assignment(canon, partition))
+        with obs.span("partition.ingest", algorithm=self.name):
+            for edge in edges:
+                canon = edge.canonical()
+                partition = self.partition_edge(canon)
+                assignments[canon] = partition
+                out.append(Assignment(canon, partition))
+        obs.counter("repro_partition_edges_total",
+                    algorithm=self.name).inc(len(out))
+        obs.counter("repro_partition_batches_total",
+                    algorithm=self.name).inc()
         return out
 
     def finalize(self) -> PartitionResult:
@@ -187,13 +195,29 @@ class StreamingPartitioner:
         if not self._streaming:
             self.begin()
         self._streaming = False
-        return PartitionResult(
+        result = PartitionResult(
             algorithm=self.name,
             state=self.state,
             assignments=self._assignments,
             latency_ms=self.clock.now() - self._start_ms,
             score_computations=getattr(self.clock, "score_computations", 0),
         )
+        self._publish_observability(result)
+        return result
+
+    def _publish_observability(self, result: PartitionResult) -> None:
+        """Mirror the run's totals into the shared metrics registry."""
+        if not obs.is_enabled():
+            return
+        labels = {"algorithm": self.name}
+        obs.counter("repro_partition_score_computations_total",
+                    **labels).inc(result.score_computations)
+        obs.histogram("repro_partition_latency_ms",
+                      **labels).observe(result.latency_ms)
+        obs.gauge("repro_partition_replication_degree",
+                  **labels).set(result.replication_degree)
+        obs.gauge("repro_partition_imbalance",
+                  **labels).set(result.imbalance)
 
     def partition_stream(self, stream: EdgeStream) -> PartitionResult:
         """Partition the whole stream — batch wrapper over the

@@ -41,6 +41,7 @@ from typing import (
     Tuple,
 )
 
+from repro import obs
 from repro.graph.graph import Edge
 from repro.graph.stream import (
     EdgeStream,
@@ -186,7 +187,9 @@ def _execute_instance(factory: PartitionerFactory, spread_ids: Sequence[int],
 
 def _run_instance(factory: PartitionerFactory, spread_ids: Sequence[int],
                   chunk: EdgeStream,
-                  clock_factory: Callable[[], Clock]) -> _InstancePayload:
+                  clock_factory: Callable[[], Clock],
+                  trace_ctx: Optional[Dict[str, str]] = None,
+                  instance: int = 0) -> _InstancePayload:
     """Worker entry point: partition one chunk, return a compact payload.
 
     Module-level so :class:`ProcessPoolExecutor` can pickle it.  Only the
@@ -194,9 +197,14 @@ def _run_instance(factory: PartitionerFactory, spread_ids: Sequence[int],
     consumes :func:`_execute_instance` results directly, which is what
     makes the differential tests a real check of the serialization
     boundary rather than a comparison of two serialized runs.
+
+    ``trace_ctx`` is the submitting process's span context: workers adopt
+    it so every instance's span lands in the same trace as the caller's.
     """
-    return _InstancePayload.from_result(
-        _execute_instance(factory, spread_ids, chunk, clock_factory))
+    with obs.use_context(trace_ctx):
+        with obs.span("partition.parallel_instance", instance=instance):
+            return _InstancePayload.from_result(
+                _execute_instance(factory, spread_ids, chunk, clock_factory))
 
 
 @dataclass
@@ -339,15 +347,20 @@ class ParallelLoader:
         if len(chunks) != self.num_instances:
             raise ValueError(
                 f"got {len(chunks)} chunks for {self.num_instances} instances")
-        if self.backend == "process":
-            results = self._run_process(chunks)
-        else:
-            results = [
-                _execute_instance(self.factory, spread_ids, chunk,
-                                  self.clock_factory)
-                for spread_ids, chunk in zip(self._spreads, chunks)
-            ]
-        return self._merge(results)
+        with obs.span("partition.parallel_run", backend=self.backend,
+                      instances=self.num_instances):
+            if self.backend == "process":
+                results = self._run_process(chunks)
+            else:
+                results = []
+                for index, (spread_ids, chunk) in enumerate(
+                        zip(self._spreads, chunks)):
+                    with obs.span("partition.parallel_instance",
+                                  instance=index):
+                        results.append(_execute_instance(
+                            self.factory, spread_ids, chunk,
+                            self.clock_factory))
+            return self._merge(results)
 
     def _run_process(self,
                      chunks: Sequence[EdgeStream]) -> List[PartitionResult]:
@@ -355,11 +368,15 @@ class ParallelLoader:
         workers = self.max_workers or min(self.num_instances,
                                           os.cpu_count() or 1)
         workers = max(1, min(workers, self.num_instances))
+        # Capture the submitting process's span context once; workers
+        # adopt it so the fan-out shows up as one correlated trace.
+        trace_ctx = obs.current_context() if obs.is_enabled() else None
         with ProcessPoolExecutor(max_workers=workers) as pool:
             futures = [
                 pool.submit(_run_instance, self.factory, spread_ids, chunk,
-                            self.clock_factory)
-                for spread_ids, chunk in zip(self._spreads, chunks)
+                            self.clock_factory, trace_ctx, index)
+                for index, (spread_ids, chunk) in enumerate(
+                    zip(self._spreads, chunks))
             ]
             # Collect in submission order: merge semantics must not
             # depend on worker completion order.

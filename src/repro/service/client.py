@@ -43,6 +43,8 @@ import socket
 import time
 from typing import Dict, Iterable, List, Optional, Tuple
 
+from repro import obs
+
 
 class ServiceError(RuntimeError):
     """The daemon answered ``ok: false`` (or broke the protocol)."""
@@ -62,7 +64,8 @@ class _ConnectionLost(Exception):
 
 #: Ops that are safe to resend after a reconnect.  ``ingest`` joins the
 #: set only when the payload carries an idempotency ``seq``.
-_RETRYABLE_OPS = frozenset({"ping", "query", "stats", "audit", "tenants"})
+_RETRYABLE_OPS = frozenset({"ping", "query", "stats", "audit", "tenants",
+                            "metrics_text"})
 
 
 class ServiceClient:
@@ -292,6 +295,11 @@ class ServiceClient:
                         edges: Iterable[Tuple[int, int]]) -> dict:
         payload = {"op": "ingest", "tenant": tenant,
                    "edges": [[int(u), int(v)] for u, v in edges]}
+        trace_ctx = obs.current_context()
+        if trace_ctx is not None:
+            # Carry the caller's trace across the ndjson boundary so the
+            # daemon's apply-batch span joins this trace.
+            payload["trace"] = trace_ctx
         if tenant in self._seq:
             # Idempotency key: makes the batch safe to resend after a
             # reconnect (the daemon replays the cached response).
@@ -320,6 +328,10 @@ class ServiceClient:
 
     def tenants(self) -> List[dict]:
         return self.request({"op": "tenants"})["tenants"]
+
+    def metrics_text(self) -> str:
+        """Prometheus text exposition of the daemon's metrics."""
+        return self.request({"op": "metrics_text"})["metrics_text"]
 
     def snapshot(self, tenant: str) -> dict:
         return self.request({"op": "snapshot", "tenant": tenant})

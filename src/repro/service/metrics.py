@@ -5,10 +5,13 @@ The daemon's observability layer.  Each tenant owns one
 batch (size + enqueue-to-completion latency) and ``stats`` requests read
 it back as a plain dict.
 
-Latencies are kept in a bounded ring (most recent ``capacity`` batches)
-so a long-lived tenant cannot grow daemon memory; p99 over the recent
-window is the quantity an operator actually wants when deciding whether
-a tenant is keeping up.
+Latencies live in a :class:`repro.obs.Histogram` — a bounded ring of the
+most recent ``capacity`` batches plus cumulative buckets — so a
+long-lived tenant cannot grow daemon memory, the reported p99 is a
+latency that actually occurred (exact nearest-rank over the window, the
+same definition every other percentile in the repo uses), and the
+daemon's ``metrics_text`` op can expose the identical series in
+Prometheus form without a second bookkeeping path.
 """
 
 from __future__ import annotations
@@ -16,18 +19,19 @@ from __future__ import annotations
 import time
 from typing import List, Optional
 
+from repro.obs.registry import Histogram, nearest_rank
+
 
 def percentile(samples: List[float], fraction: float) -> float:
-    """Nearest-rank percentile (``fraction`` in [0, 1]) of ``samples``.
+    """Nearest-rank percentile (``fraction`` clamped into [0, 1]).
 
-    Nearest-rank (not interpolated) so the reported p99 is a latency that
-    actually occurred.  Returns 0.0 for an empty sample set.
+    Delegates to the shared :func:`repro.obs.registry.nearest_rank` so
+    service p50/p99 and bench percentiles cannot disagree.  Returns 0.0
+    for an empty sample set; a single sample is every percentile of
+    itself; out-of-range fractions clamp to min/max instead of indexing
+    past the ring.
     """
-    if not samples:
-        return 0.0
-    ordered = sorted(samples)
-    rank = min(len(ordered) - 1, max(0, int(fraction * len(ordered))))
-    return ordered[rank]
+    return nearest_rank(sorted(samples), fraction)
 
 
 class TenantMetrics:
@@ -43,18 +47,15 @@ class TenantMetrics:
         self.edges_ingested = 0
         self.batches = 0
         self.queue_high_water = 0
-        self._latencies: List[float] = []
-        self._cursor = 0
+        # Always-on (independent of the global obs enable flag): these
+        # numbers are part of the service protocol's `stats` response.
+        self._latency = Histogram(window=capacity)
 
     def observe_batch(self, edges: int, latency_s: float) -> None:
         """Record one completed ingest batch."""
         self.edges_ingested += edges
         self.batches += 1
-        if len(self._latencies) < self.capacity:
-            self._latencies.append(latency_s)
-        else:
-            self._latencies[self._cursor] = latency_s
-            self._cursor = (self._cursor + 1) % self.capacity
+        self._latency.observe(latency_s)
 
     def observe_queue_depth(self, depth: int) -> None:
         if depth > self.queue_high_water:
@@ -72,8 +73,13 @@ class TenantMetrics:
             return 0.0
         return self.edges_ingested / uptime
 
+    @property
+    def latency_histogram(self) -> Histogram:
+        """The underlying shared-format histogram (for exporters)."""
+        return self._latency
+
     def latency_percentile_ms(self, fraction: float) -> float:
-        return percentile(self._latencies, fraction) * 1000.0
+        return self._latency.percentile(fraction) * 1000.0
 
     def to_dict(self) -> dict:
         return {
@@ -82,6 +88,7 @@ class TenantMetrics:
             "uptime_s": self.uptime_s,
             "edges_per_second": self.edges_per_second,
             "queue_high_water": self.queue_high_water,
+            "metrics_window": self.capacity,
             "p50_ingest_ms": self.latency_percentile_ms(0.50),
             "p99_ingest_ms": self.latency_percentile_ms(0.99),
         }

@@ -54,6 +54,7 @@ import time
 from collections import OrderedDict
 from typing import Dict, List, Optional, Set, Tuple
 
+from repro import obs
 from repro.api import (
     PartitionSession,
     SessionError,
@@ -85,11 +86,12 @@ class Tenant:
 
     def __init__(self, name: str, session: PartitionSession,
                  queue_depth: int, audit_depth: int,
-                 replay_depth: int = 256) -> None:
+                 replay_depth: int = 256,
+                 metrics_window: int = 1024) -> None:
         self.name = name
         self.session = session
         self.queue: asyncio.Queue = asyncio.Queue(maxsize=queue_depth)
-        self.metrics = TenantMetrics()
+        self.metrics = TenantMetrics(capacity=metrics_window)
         self.audit = DecisionLog(capacity=audit_depth)
         self.worker: Optional[asyncio.Task] = None
         self.closed = False
@@ -189,6 +191,9 @@ class PartitionService:
         (retried) seqs.
     audit_depth:
         Per-tenant decision-log ring capacity.
+    metrics_window:
+        Per-tenant latency-sample window for the p50/p99 quantiles
+        reported by ``stats`` and ``metrics_text``.
     fault_hook:
         Test-only crash injection: called at every WAL/snapshot/ack
         boundary (see ``wal.SERVICE_INJECTION_POINTS``); raising
@@ -205,6 +210,7 @@ class PartitionService:
                  max_line_bytes: int = 1_048_576,
                  replay_depth: int = 256,
                  audit_depth: int = 4096,
+                 metrics_window: int = 1024,
                  fault_hook: Optional[FaultHook] = None) -> None:
         if max_tenants < 1:
             raise ValueError("max_tenants must be >= 1")
@@ -218,6 +224,10 @@ class PartitionService:
             raise ValueError("max_line_bytes must be >= 1024")
         if replay_depth < 1:
             raise ValueError("replay_depth must be >= 1")
+        if audit_depth < 1:
+            raise ValueError("audit_depth must be >= 1")
+        if metrics_window < 1:
+            raise ValueError("metrics_window must be >= 1")
         self.host = host
         self.port = port
         self.max_tenants = max_tenants
@@ -229,6 +239,7 @@ class PartitionService:
         self.max_line_bytes = max_line_bytes
         self.replay_depth = replay_depth
         self.audit_depth = audit_depth
+        self.metrics_window = metrics_window
         self.fault_hook = fault_hook
         self.tenants: Dict[str, Tenant] = {}
         self.started_at = 0.0
@@ -347,7 +358,8 @@ class PartitionService:
             snapshot = SessionSnapshot.load(path)
             session = restore_session(snapshot)
             tenant = Tenant(name, session, self.queue_depth,
-                            self.audit_depth, self.replay_depth)
+                            self.audit_depth, self.replay_depth,
+                            self.metrics_window)
             seq = int(getattr(snapshot, "seq", 0))
             tenant.accepted_seq = tenant.applied_seq = seq
             tenant.compacted_seq = seq
@@ -386,7 +398,8 @@ class PartitionService:
         applied = int(getattr(snapshot, "seq", 0))
         session = restore_session(snapshot)
         tenant = Tenant(name, session, self.queue_depth,
-                        self.audit_depth, self.replay_depth)
+                        self.audit_depth, self.replay_depth,
+                        self.metrics_window)
         log_path = wal_path(self.wal_dir, name)
         replayed = 0
         if os.path.exists(log_path):
@@ -484,9 +497,14 @@ class PartitionService:
             if item is None:
                 tenant.queue.task_done()
                 return
-            seq, edges, enqueued_at, reply = item
+            seq, edges, enqueued_at, reply, trace_ctx = item
             try:
-                response = self._apply_batch(tenant, seq, edges)
+                # Adopt the client's trace context (sent over ndjson) so
+                # this span joins the caller's partition->service trace.
+                with obs.use_context(trace_ctx), \
+                        obs.span("service.apply_batch", tenant=tenant.name,
+                                 seq=seq, edges=len(edges)):
+                    response = self._apply_batch(tenant, seq, edges)
                 tenant.metrics.observe_batch(
                     len(edges), time.monotonic() - enqueued_at)
                 self._fire_waiters(tenant, seq, response)
@@ -588,6 +606,7 @@ class PartitionService:
         daemon, for ``shutdown``) should wind down afterwards."""
         op = request.get("op")
         request_id = request.get("id")
+        obs.counter("repro_service_requests_total", op=str(op)).inc()
 
         async def reply(payload: dict) -> None:
             if request_id is not None:
@@ -616,6 +635,8 @@ class PartitionService:
                 await reply(await self._op_close(request))
             elif op == "tenants":
                 await reply(self._op_tenants())
+            elif op == "metrics_text":
+                await reply(self._op_metrics_text())
             elif op == "shutdown":
                 report = await self.stop()
                 await reply(dict(report, ok=True))
@@ -662,7 +683,7 @@ class PartitionService:
             expected_edges=int(request.get("expected_edges", 0)),
             **knobs)
         tenant = Tenant(name, session, self.queue_depth, self.audit_depth,
-                        self.replay_depth)
+                        self.replay_depth, self.metrics_window)
         if self.wal_dir is not None:
             # Snapshot first so a crash between the two writes leaves a
             # resumable tenant (a WAL alone is unrecoverable state).
@@ -718,8 +739,14 @@ class PartitionService:
         if tenant.wal is not None:
             tenant.wal.append(seq, edges)
         tenant.accepted_seq = seq
+        obs.counter("repro_service_edges_total",
+                    tenant=tenant.name).inc(len(edges))
         tenant.metrics.observe_queue_depth(tenant.queue.qsize() + 1)
-        await tenant.queue.put((seq, edges, time.monotonic(), reply))
+        trace_ctx = request.get("trace")
+        if not isinstance(trace_ctx, dict):
+            trace_ctx = None
+        await tenant.queue.put((seq, edges, time.monotonic(), reply,
+                                trace_ctx))
 
     def _op_query(self, request: dict) -> dict:
         tenant = self._tenant_of(request)
@@ -747,6 +774,7 @@ class PartitionService:
                     "last_compact_error": tenant.last_compact_error},
                 "audit": {"recorded": tenant.audit.total_recorded,
                           "retained": len(tenant.audit),
+                          "capacity": tenant.audit.capacity,
                           "dropped": tenant.audit.dropped}}
 
     def _op_audit(self, request: dict) -> dict:
@@ -817,6 +845,52 @@ class PartitionService:
              "durable": t.wal is not None}
             for t in self.tenants.values()]}
 
+    def _scrape_snapshot(self) -> dict:
+        """Scrape-time snapshot: the process registry plus per-tenant
+        series synthesized from each tenant's always-on bookkeeping.
+
+        Built at scrape time so the ingest hot path pays nothing for
+        these series beyond what ``TenantMetrics`` already records.
+        """
+        snap = obs.snapshot()
+        snap["gauges"].append({
+            "name": "repro_service_uptime_seconds", "labels": {},
+            "value": max(time.monotonic() - self.started_at, 0.0)})
+        snap["gauges"].append({
+            "name": "repro_service_tenants", "labels": {},
+            "value": float(len(self.tenants))})
+        for tenant in sorted(self.tenants.values(), key=lambda t: t.name):
+            labels = {"tenant": tenant.name}
+            metrics = tenant.metrics
+            snap["counters"].extend([
+                {"name": "repro_tenant_edges_ingested_total",
+                 "labels": labels, "value": float(metrics.edges_ingested)},
+                {"name": "repro_tenant_batches_total",
+                 "labels": labels, "value": float(metrics.batches)},
+                {"name": "repro_tenant_audit_recorded_total",
+                 "labels": labels,
+                 "value": float(tenant.audit.total_recorded)},
+            ])
+            snap["gauges"].extend([
+                {"name": "repro_tenant_queue_depth",
+                 "labels": labels, "value": float(tenant.queue.qsize())},
+                {"name": "repro_tenant_queue_high_water",
+                 "labels": labels, "value": float(metrics.queue_high_water)},
+                {"name": "repro_tenant_applied_seq",
+                 "labels": labels, "value": float(tenant.applied_seq)},
+                {"name": "repro_tenant_edges_per_second",
+                 "labels": labels, "value": metrics.edges_per_second},
+            ])
+            snap["histograms"].append(
+                metrics.latency_histogram.snapshot_entry(
+                    "repro_tenant_ingest_latency_seconds", labels))
+        return snap
+
+    def _op_metrics_text(self) -> dict:
+        """Prometheus text exposition of daemon + tenant series."""
+        return {"ok": True,
+                "metrics_text": obs.prometheus_text(self._scrape_snapshot())}
+
 
 def run_service(host: str = "127.0.0.1", port: int = 0,
                 max_tenants: int = 64, queue_depth: int = 16,
@@ -825,6 +899,8 @@ def run_service(host: str = "127.0.0.1", port: int = 0,
                 wal_compact_every: int = 64,
                 fsync: str = "batch",
                 max_line_bytes: int = 1_048_576,
+                audit_depth: int = 4096,
+                metrics_window: int = 1024,
                 fault_hook: Optional[FaultHook] = None,
                 ready_callback=None) -> None:
     """Blocking entry point used by ``repro-cli serve``.
@@ -843,6 +919,8 @@ def run_service(host: str = "127.0.0.1", port: int = 0,
                                    wal_compact_every=wal_compact_every,
                                    fsync=fsync,
                                    max_line_bytes=max_line_bytes,
+                                   audit_depth=audit_depth,
+                                   metrics_window=metrics_window,
                                    fault_hook=fault_hook)
         await service.start()
         if ready_callback is not None:

@@ -62,6 +62,8 @@ import struct
 import zlib
 from typing import Callable, List, Optional, Tuple
 
+from repro import obs
+
 #: File magic; bump the trailing byte when the record format changes.
 MAGIC = b"ADWISEWAL\x01"
 
@@ -216,6 +218,8 @@ class TenantWAL:
                 and self._unsynced >= self.fsync_every):
             os.fsync(self._file.fileno())
             self._unsynced = 0
+            obs.counter("repro_wal_fsyncs_total",
+                        tenant=self.tenant).inc()
 
     # ------------------------------------------------------------------
     # Append
@@ -236,6 +240,9 @@ class TenantWAL:
         self._unsynced += 1
         self._flush()
         self._tail.append((seq, record))
+        obs.counter("repro_wal_appends_total", tenant=self.tenant).inc()
+        obs.counter("repro_wal_bytes_total",
+                    tenant=self.tenant).inc(len(record))
         self._hook("wal-post-append", seq)
 
     # ------------------------------------------------------------------
@@ -262,6 +269,8 @@ class TenantWAL:
         os.replace(tmp, self.path)
         self._file = open(self.path, "ab")
         self._unsynced = 0
+        obs.counter("repro_wal_compactions_total",
+                    tenant=self.tenant).inc()
 
     def close(self, remove: bool = False) -> None:
         """Flush and close; ``remove=True`` deletes the file (the tenant

@@ -82,6 +82,10 @@ def main(argv=None) -> int:
     parser.add_argument("--sort", default="tottime",
                         choices=["tottime", "cumulative"],
                         help="primary sort of the profile table")
+    parser.add_argument("--trace", default=None, metavar="OUT.json",
+                        help="also run with repro.obs spans enabled and "
+                             "write a Chrome/Perfetto trace of the run "
+                             "to this path")
     args = parser.parse_args(argv)
     if args.window == 0:
         args.window = None
@@ -91,12 +95,24 @@ def main(argv=None) -> int:
     partitioner = build_partitioner(args)
     stream = InMemoryEdgeStream(edges)
 
+    if args.trace:
+        from repro import obs
+        obs.enable()
+
     profiler = cProfile.Profile()
     wall = time.perf_counter()
     profiler.enable()
     result = partitioner.partition_stream(stream)
     profiler.disable()
     wall = time.perf_counter() - wall
+
+    if args.trace:
+        from repro import obs
+        obs.write_chrome_trace(args.trace, obs.tracer().spans())
+        print(f"chrome trace written to {args.trace} "
+              f"({len(obs.tracer().spans())} spans; load in Perfetto or "
+              f"chrome://tracing)")
+        obs.disable()
 
     print(f"{partitioner.name} over {len(edges)} power-law edges "
           f"(n={args.n}, m={args.m}, k={args.partitions}, "
