@@ -1,0 +1,453 @@
+/* Compiled window kernels: C mirror of repro/core/_kernels_py.py.
+ *
+ * Statement-for-statement port of the looped-Python kernel source (see
+ * that module's docstring for the array glossary and the semantics
+ * contract).  Built by repro/core/_kernels.py with
+ *
+ *     cc -O3 -fPIC -shared -ffp-contract=off
+ *
+ * -ffp-contract=off forbids fused multiply-adds so every float64
+ * operation rounds exactly like the numpy/reference evaluation; nothing
+ * here may reorder or fuse floating-point arithmetic.  All pointers are
+ * borrowed from numpy arrays owned by the Python side, bound once via
+ * kern_bind and rebound whenever an array is reallocated.
+ */
+
+#include <stdint.h>
+#include <stdlib.h>
+
+typedef struct {
+    double  *score;
+    double  *rep;        /* capacity x k, row stride k */
+    double  *cs;         /* capacity x k, row stride k */
+    int64_t *partition;
+    int64_t *entry;
+    int64_t *slot_version;
+    int64_t *rep_key;    /* capacity x 5 */
+    int64_t *nbr_key;    /* capacity x 2 */
+    int64_t *cs_sum;
+    int64_t *ui;
+    int64_t *vi;
+    int64_t *nbr_start;
+    int64_t *nbr_count;
+    int64_t *pool;
+    int64_t *heap;
+    int64_t *heap_pos;
+    int64_t *hctl;       /* hctl[0] = heap size */
+    int64_t *scratch;    /* 2 * capacity */
+    int64_t *partition_ids;
+    unsigned char *replicas;   /* state capacity x k, row stride k */
+    int64_t *row_version;
+    int64_t *deg;
+    int64_t *iver;
+    double  *lamb;       /* k; synced by the adapter before calls */
+    double  *io_f;       /* io_f[0] = score_sum in/out */
+    int64_t *io_i;       /* rescore tallies + needy count */
+    int64_t  k;
+} KernCtx;
+
+KernCtx *kern_new(void)
+{
+    return (KernCtx *)calloc(1, sizeof(KernCtx));
+}
+
+void kern_free(KernCtx *c)
+{
+    free(c);
+}
+
+void kern_bind(KernCtx *c, double *score, int64_t *partition,
+               int64_t *entry, int64_t *slot_version, double *rep,
+               double *cs, int64_t *rep_key, int64_t *nbr_key,
+               int64_t *cs_sum, int64_t *ui, int64_t *vi,
+               int64_t *nbr_start, int64_t *nbr_count, int64_t *pool,
+               int64_t *heap, int64_t *heap_pos, int64_t *hctl,
+               int64_t *scratch, int64_t *partition_ids,
+               unsigned char *replicas, int64_t *row_version,
+               int64_t *deg, int64_t *iver, double *lamb, double *io_f,
+               int64_t *io_i, int64_t k)
+{
+    c->score = score;
+    c->partition = partition;
+    c->entry = entry;
+    c->slot_version = slot_version;
+    c->rep = rep;
+    c->cs = cs;
+    c->rep_key = rep_key;
+    c->nbr_key = nbr_key;
+    c->cs_sum = cs_sum;
+    c->ui = ui;
+    c->vi = vi;
+    c->nbr_start = nbr_start;
+    c->nbr_count = nbr_count;
+    c->pool = pool;
+    c->heap = heap;
+    c->heap_pos = heap_pos;
+    c->hctl = hctl;
+    c->scratch = scratch;
+    c->partition_ids = partition_ids;
+    c->replicas = replicas;
+    c->row_version = row_version;
+    c->deg = deg;
+    c->iver = iver;
+    c->lamb = lamb;
+    c->io_f = io_f;
+    c->io_i = io_i;
+    c->k = k;
+}
+
+/* ------------------------------------------------------------------ */
+/* Indexed binary max-heap keyed (score desc, entry asc)               */
+/* ------------------------------------------------------------------ */
+
+static int heap_better(const KernCtx *c, int64_t a, int64_t b)
+{
+    double sa = c->score[a];
+    double sb = c->score[b];
+    if (sa > sb)
+        return 1;
+    if (sa < sb)
+        return 0;
+    return c->entry[a] < c->entry[b];
+}
+
+static int64_t sift_up(KernCtx *c, int64_t pos)
+{
+    int64_t slot = c->heap[pos];
+    while (pos > 0) {
+        int64_t parent = (pos - 1) / 2;
+        int64_t other = c->heap[parent];
+        if (!heap_better(c, slot, other))
+            break;
+        c->heap[pos] = other;
+        c->heap_pos[other] = pos;
+        pos = parent;
+    }
+    c->heap[pos] = slot;
+    c->heap_pos[slot] = pos;
+    return pos;
+}
+
+static int64_t sift_down(KernCtx *c, int64_t n, int64_t pos)
+{
+    int64_t slot = c->heap[pos];
+    for (;;) {
+        int64_t child = 2 * pos + 1;
+        int64_t right;
+        if (child >= n)
+            break;
+        right = child + 1;
+        if (right < n && heap_better(c, c->heap[right], c->heap[child]))
+            child = right;
+        if (!heap_better(c, c->heap[child], slot))
+            break;
+        c->heap[pos] = c->heap[child];
+        c->heap_pos[c->heap[pos]] = pos;
+        pos = child;
+    }
+    c->heap[pos] = slot;
+    c->heap_pos[slot] = pos;
+    return pos;
+}
+
+static void heap_fix(KernCtx *c, int64_t n, int64_t pos)
+{
+    if (sift_up(c, pos) == pos)
+        sift_down(c, n, pos);
+}
+
+void kern_heap_push(KernCtx *c, int64_t slot)
+{
+    int64_t n = c->hctl[0];
+    c->heap[n] = slot;
+    c->heap_pos[slot] = n;
+    c->hctl[0] = n + 1;
+    sift_up(c, n);
+}
+
+int64_t kern_heap_remove(KernCtx *c, int64_t slot)
+{
+    int64_t pos = c->heap_pos[slot];
+    int64_t n;
+    if (pos < 0)
+        return -1;
+    n = c->hctl[0] - 1;
+    c->hctl[0] = n;
+    c->heap_pos[slot] = -1;
+    if (pos != n) {
+        int64_t moved = c->heap[n];
+        c->heap[pos] = moved;
+        c->heap_pos[moved] = pos;
+        heap_fix(c, n, pos);
+    }
+    return pos;
+}
+
+void kern_heap_heapify(KernCtx *c)
+{
+    int64_t n = c->hctl[0];
+    int64_t i;
+    for (i = n / 2 - 1; i >= 0; i--)
+        sift_down(c, n, i);
+}
+
+/* ------------------------------------------------------------------ */
+/* Component memos: pull-validity checks and recomputation             */
+/* ------------------------------------------------------------------ */
+
+static int rep_fresh(const KernCtx *c, int64_t max_degree, int64_t s)
+{
+    const int64_t *key = c->rep_key + s * 5;
+    int64_t iu = c->ui[s];
+    int64_t iv = c->vi[s];
+    return key[0] == c->row_version[iu]
+        && key[1] == c->row_version[iv]
+        && key[2] == c->deg[iu]
+        && key[3] == c->deg[iv]
+        && key[4] == max_degree;
+}
+
+static int nbr_fresh(const KernCtx *c, int64_t s)
+{
+    return c->nbr_key[s * 2] == c->iver[c->ui[s]]
+        && c->nbr_key[s * 2 + 1] == c->iver[c->vi[s]];
+}
+
+static int64_t nbr_version_sum(const KernCtx *c, int64_t s)
+{
+    int64_t start = c->nbr_start[s];
+    int64_t total = 0;
+    int64_t i;
+    for (i = 0; i < c->nbr_count[s]; i++)
+        total += c->row_version[c->pool[start + i]];
+    return total;
+}
+
+static void recompute_rep(KernCtx *c, int64_t max_degree, int64_t s)
+{
+    int64_t iu = c->ui[s];
+    int64_t iv = c->vi[s];
+    int64_t maxd = max_degree < 1 ? 1 : max_degree;
+    double psi_u = (double)c->deg[iu] / (2.0 * (double)maxd);
+    double psi_v = (double)c->deg[iv] / (2.0 * (double)maxd);
+    double wu = 2.0 - psi_u;
+    double wv = 2.0 - psi_v;
+    const unsigned char *ru = c->replicas + iu * c->k;
+    const unsigned char *rv = c->replicas + iv * c->k;
+    double *row = c->rep + s * c->k;
+    int64_t *key = c->rep_key + s * 5;
+    int64_t j;
+    for (j = 0; j < c->k; j++) {
+        double a = ru[j] ? wu : 0.0;
+        double b = rv[j] ? wv : 0.0;
+        row[j] = a + b;
+    }
+    key[0] = c->row_version[iu];
+    key[1] = c->row_version[iv];
+    key[2] = c->deg[iu];
+    key[3] = c->deg[iv];
+    key[4] = max_degree;
+}
+
+static void recompute_cs(KernCtx *c, int64_t s)
+{
+    int64_t start = c->nbr_start[s];
+    int64_t cnt = c->nbr_count[s];
+    int64_t vsum = 0;
+    double *row = c->cs + s * c->k;
+    int64_t i, j;
+    for (j = 0; j < c->k; j++)
+        row[j] = 0.0;
+    for (i = 0; i < cnt; i++) {
+        int64_t idx = c->pool[start + i];
+        const unsigned char *r = c->replicas + idx * c->k;
+        vsum += c->row_version[idx];
+        for (j = 0; j < c->k; j++)
+            if (r[j])
+                row[j] += 1.0;
+    }
+    if (cnt > 0)
+        for (j = 0; j < c->k; j++)
+            row[j] = row[j] / (double)cnt;
+    c->cs_sum[s] = vsum;
+}
+
+static double assemble(const KernCtx *c, const double *lamb, int use_cs,
+                       int64_t s, int64_t *col_out)
+{
+    const double *rrow = c->rep + s * c->k;
+    const double *crow = c->cs + s * c->k;
+    double best = 0.0;
+    int64_t best_col = 0;
+    int first = 1;
+    int64_t j;
+    for (j = 0; j < c->k; j++) {
+        double t = lamb[j] + rrow[j];
+        if (use_cs)
+            t = t + crow[j];
+        if (first || t > best) {
+            best = t;
+            best_col = j;
+            first = 0;
+        }
+    }
+    *col_out = best_col;
+    return best;
+}
+
+/* Slots arrive in scratch[0..n); stale ones are compacted in place to
+ * scratch[0..cnt) (safe: the write cursor never passes the read one). */
+int64_t kern_scan_nbr(KernCtx *c, int64_t n)
+{
+    int64_t cnt = 0;
+    int64_t t;
+    for (t = 0; t < n; t++) {
+        int64_t s = c->scratch[t];
+        if (!nbr_fresh(c, s))
+            c->scratch[cnt++] = s;
+    }
+    return cnt;
+}
+
+/* ------------------------------------------------------------------ */
+/* The rescore transaction (pop / rule 2 / rule 3 share it)            */
+/* ------------------------------------------------------------------ */
+
+static double rescore_impl(KernCtx *c, const int64_t *slots, int64_t n,
+                           int64_t version, int64_t max_degree,
+                           int64_t use_cs, double score_sum)
+{
+    const double *lamb = c->lamb;
+    int64_t *io_i = c->io_i;
+    int64_t n_res = 0, n_rep = 0, n_cs = 0;
+    int64_t t;
+    for (t = 0; t < n; t++) {
+        int64_t s = slots[t];
+        int fresh_r = rep_fresh(c, max_degree, s);
+        int fresh_c = 1;
+        int64_t col;
+        double best;
+        if (use_cs) {
+            if (nbr_fresh(c, s))
+                fresh_c = c->cs_sum[s] == nbr_version_sum(c, s);
+            else
+                fresh_c = 0;
+        }
+        if (c->slot_version[s] == version && fresh_r && fresh_c)
+            continue;
+        if (!fresh_r) {
+            recompute_rep(c, max_degree, s);
+            n_rep++;
+        }
+        if (use_cs && !fresh_c) {
+            recompute_cs(c, s);
+            n_cs++;
+        }
+        best = assemble(c, lamb, (int)use_cs, s, &col);
+        score_sum += best - c->score[s];
+        c->score[s] = best;
+        c->partition[s] = c->partition_ids[col];
+        c->slot_version[s] = version;
+        n_res++;
+    }
+    io_i[0] = n_res;
+    io_i[1] = n_rep;
+    io_i[2] = n_cs;
+    return score_sum;
+}
+
+/* Slots arrive in scratch[0..n) (already entry-sorted by the caller). */
+double kern_rescore(KernCtx *c, int64_t n, int64_t version,
+                    int64_t max_degree, int64_t use_cs, double score_sum)
+{
+    return rescore_impl(c, c->scratch, n, version, max_degree, use_cs,
+                        score_sum);
+}
+
+int64_t kern_pop(KernCtx *c, int64_t version, int64_t max_degree,
+                 int64_t use_cs)
+{
+    int64_t *io_i = c->io_i;
+    int64_t n = c->hctl[0];
+    int64_t m = 0;
+    int64_t i, t;
+    if (n == 0)
+        return -2;
+    /* Collect stale candidates, then shell-sort them by entry id
+     * (gap sequence 3h+1; entries are unique, so the order is total). */
+    for (i = 0; i < n; i++) {
+        int64_t s = c->heap[i];
+        if (c->slot_version[s] != version)
+            c->scratch[m++] = s;
+    }
+    {
+        int64_t gap = 1;
+        while (gap < m / 3)
+            gap = 3 * gap + 1;
+        for (; gap > 0; gap /= 3) {
+            for (i = gap; i < m; i++) {
+                int64_t s = c->scratch[i];
+                int64_t e = c->entry[s];
+                int64_t j = i;
+                while (j >= gap && c->entry[c->scratch[j - gap]] > e) {
+                    c->scratch[j] = c->scratch[j - gap];
+                    j -= gap;
+                }
+                c->scratch[j] = s;
+            }
+        }
+    }
+    if (use_cs) {
+        int64_t need = 0;
+        for (t = 0; t < m; t++) {
+            int64_t s = c->scratch[t];
+            if (!nbr_fresh(c, s))
+                c->scratch[n + need++] = s;
+        }
+        if (need > 0) {
+            for (t = 0; t < need; t++)
+                c->scratch[t] = c->scratch[n + t];
+            io_i[3] = need;
+            return -1;
+        }
+    }
+    if (m > 0) {
+        c->io_f[0] = rescore_impl(c, c->scratch, m, version, max_degree,
+                                  use_cs, c->io_f[0]);
+        /* Heap repair: a single moved key sifts in place; for several,
+         * only a full heapify is sound (sequential per-key fixes can
+         * leave violations between two moved keys). */
+        if (m == 1)
+            heap_fix(c, n, c->heap_pos[c->scratch[0]]);
+        else
+            kern_heap_heapify(c);
+    } else {
+        io_i[0] = 0;
+        io_i[1] = 0;
+        io_i[2] = 0;
+    }
+    return c->heap[0];
+}
+
+double kern_add(KernCtx *c, int64_t s, int64_t du, int64_t dv,
+                int64_t seg_start, int64_t seg_count, int64_t version,
+                int64_t max_degree, int64_t use_cs)
+{
+    const double *lamb = c->lamb;
+    int64_t col;
+    double best;
+    c->ui[s] = du;
+    c->vi[s] = dv;
+    c->nbr_start[s] = seg_start;
+    c->nbr_count[s] = seg_count;
+    recompute_rep(c, max_degree, s);
+    c->nbr_key[s * 2] = c->iver[du];
+    c->nbr_key[s * 2 + 1] = c->iver[dv];
+    if (use_cs)
+        recompute_cs(c, s);
+    best = assemble(c, lamb, (int)use_cs, s, &col);
+    c->score[s] = best;
+    c->partition[s] = c->partition_ids[col];
+    c->slot_version[s] = version;
+    return best;
+}

@@ -1,0 +1,455 @@
+"""Looped-Python window kernels: the compiled backends' shared source.
+
+These functions define, in plain sequential Python over ndarrays, the
+exact per-slot transaction the ADWISE window agenda performs (DESIGN.md
+§14): pull-validity checks of the component memos, recomputation of
+invalid R/CS rows, total assembly in the reference IEEE-754 operation
+order, entry-ordered score-sum accumulation, and the indexed binary
+max-heap over ``(score, -entry_id)``.
+
+They are written njit-compatibly (flat loops, ndarray/scalar arguments,
+no Python containers) and serve three backends at once:
+
+* **numba** — :mod:`repro.core._kernels` wraps every function with
+  ``numba.njit`` when numba is installed and selected,
+* **pyloop** — the functions run as-is (slow; the differential tests use
+  this to exercise the numba source without numba installed),
+* **cc** — ``_kernels.c`` mirrors this file statement-for-statement; the
+  parity tests in ``tests/test_kbest_agenda.py`` hold the two together.
+
+Array-parameter glossary (all owned by :class:`ArrayEdgeWindow` unless
+noted): ``score``/``partition``/``entry``/``slot_version`` are the
+per-slot caches; ``rep``/``cs`` the ``(capacity, k)`` component memos;
+``rep_key`` ``(capacity, 5)`` rows ``(rowver_u, rowver_v, deg_u, deg_v,
+max_degree)`` recorded when R was computed; ``nbr_key`` ``(capacity,
+2)`` rows ``(iver_u, iver_v)`` recorded when the neighborhood segment
+was written; ``cs_sum`` the replica-row-version checksum over the
+segment when CS was computed (versions only ever increase, so equality
+means no neighbor row moved); ``ui``/``vi`` dense endpoint indices;
+``nbr_start``/``nbr_count``/``pool`` the pooled neighborhood segments
+(dense indices); ``heap``/``heap_pos``/``hctl`` the agenda
+(``hctl[0]`` is the heap size); ``replicas``/``row_version``/``deg``
+come from the :class:`FastPartitionState`; ``iver`` is the window's
+per-dense-vertex incidence version.
+"""
+
+from __future__ import annotations
+
+# ----------------------------------------------------------------------
+# Indexed binary max-heap keyed (score desc, entry asc)
+# ----------------------------------------------------------------------
+
+
+def heap_better(score, entry, a, b):
+    """Strict total order: does slot ``a`` outrank slot ``b``?"""
+    sa = score[a]
+    sb = score[b]
+    if sa > sb:
+        return True
+    if sa < sb:
+        return False
+    return entry[a] < entry[b]
+
+
+def sift_up(heap, heap_pos, score, entry, pos):
+    """Restore the heap upward from ``pos``; return the final position."""
+    slot = heap[pos]
+    while pos > 0:
+        parent = (pos - 1) // 2
+        other = heap[parent]
+        if not heap_better(score, entry, slot, other):
+            break
+        heap[pos] = other
+        heap_pos[other] = pos
+        pos = parent
+    heap[pos] = slot
+    heap_pos[slot] = pos
+    return pos
+
+
+def sift_down(heap, heap_pos, score, entry, n, pos):
+    """Restore the heap downward from ``pos``; return the final position."""
+    slot = heap[pos]
+    while True:
+        child = 2 * pos + 1
+        if child >= n:
+            break
+        right = child + 1
+        if right < n and heap_better(score, entry, heap[right], heap[child]):
+            child = right
+        if not heap_better(score, entry, heap[child], slot):
+            break
+        moved = heap[child]
+        heap[pos] = moved
+        heap_pos[moved] = pos
+        pos = child
+    heap[pos] = slot
+    heap_pos[slot] = pos
+    return pos
+
+
+def heap_fix(heap, heap_pos, score, entry, n, pos):
+    """Re-establish the invariant after an arbitrary key change at ``pos``."""
+    if sift_up(heap, heap_pos, score, entry, pos) == pos:
+        sift_down(heap, heap_pos, score, entry, n, pos)
+
+
+def heap_push(heap, heap_pos, hctl, score, entry, slot):
+    """Insert ``slot`` (must not be in the heap)."""
+    n = hctl[0]
+    heap[n] = slot
+    heap_pos[slot] = n
+    hctl[0] = n + 1
+    sift_up(heap, heap_pos, score, entry, n)
+
+
+def heap_remove(heap, heap_pos, hctl, score, entry, slot):
+    """Remove ``slot``; return its former position, or -1 if absent."""
+    pos = heap_pos[slot]
+    if pos < 0:
+        return -1
+    n = hctl[0] - 1
+    hctl[0] = n
+    heap_pos[slot] = -1
+    if pos != n:
+        moved = heap[n]
+        heap[pos] = moved
+        heap_pos[moved] = pos
+        heap_fix(heap, heap_pos, score, entry, n, pos)
+    return pos
+
+
+def heap_heapify(heap, heap_pos, hctl, score, entry):
+    """Bottom-up heapify of ``heap[:hctl[0]]`` (positions pre-filled)."""
+    n = hctl[0]
+    i = n // 2 - 1
+    while i >= 0:
+        sift_down(heap, heap_pos, score, entry, n, i)
+        i -= 1
+
+
+# ----------------------------------------------------------------------
+# Component memos: pull-validity checks and recomputation
+# ----------------------------------------------------------------------
+
+
+def rep_fresh(rep_key, ui, vi, row_version, deg, max_degree, s):
+    """Is slot ``s``'s replication memo exact under the current state?"""
+    iu = ui[s]
+    iv = vi[s]
+    return (rep_key[s, 0] == row_version[iu]
+            and rep_key[s, 1] == row_version[iv]
+            and rep_key[s, 2] == deg[iu]
+            and rep_key[s, 3] == deg[iv]
+            and rep_key[s, 4] == max_degree)
+
+
+def nbr_fresh(nbr_key, ui, vi, iver, s):
+    """Is slot ``s``'s pooled neighborhood segment still its neighborhood?"""
+    return (nbr_key[s, 0] == iver[ui[s]]
+            and nbr_key[s, 1] == iver[vi[s]])
+
+
+def nbr_version_sum(nbr_start, nbr_count, pool, row_version, s):
+    """Replica-row-version checksum over slot ``s``'s neighbor segment."""
+    start = nbr_start[s]
+    total = 0
+    for i in range(nbr_count[s]):
+        total += row_version[pool[start + i]]
+    return total
+
+
+def recompute_rep(rep, rep_key, ui, vi, replicas, row_version, deg,
+                  max_degree, k, s):
+    """R(e, p) for slot ``s`` in the reference operation order (Eq. 5)."""
+    iu = ui[s]
+    iv = vi[s]
+    maxd = max_degree
+    if maxd < 1:
+        maxd = 1
+    psi_u = deg[iu] / (2.0 * maxd)
+    psi_v = deg[iv] / (2.0 * maxd)
+    wu = 2.0 - psi_u
+    wv = 2.0 - psi_v
+    for j in range(k):
+        a = wu if replicas[iu, j] else 0.0
+        b = wv if replicas[iv, j] else 0.0
+        rep[s, j] = a + b
+    rep_key[s, 0] = row_version[iu]
+    rep_key[s, 1] = row_version[iv]
+    rep_key[s, 2] = deg[iu]
+    rep_key[s, 3] = deg[iv]
+    rep_key[s, 4] = max_degree
+
+
+def recompute_cs(cs, cs_sum, nbr_start, nbr_count, pool, replicas,
+                 row_version, k, s):
+    """CS(e, p) for slot ``s`` (Eq. 6); empty segments yield a zero row."""
+    start = nbr_start[s]
+    cnt = nbr_count[s]
+    vsum = 0
+    for j in range(k):
+        cs[s, j] = 0.0
+    for i in range(cnt):
+        idx = pool[start + i]
+        vsum += row_version[idx]
+        for j in range(k):
+            if replicas[idx, j]:
+                cs[s, j] += 1.0
+    if cnt > 0:
+        for j in range(k):
+            cs[s, j] = cs[s, j] / cnt
+    cs_sum[s] = vsum
+    return vsum
+
+
+def assemble(rep, cs, lamb, use_cs, k, s, out):
+    """Best (score, column) of ``λ·B + R (+ CS)``; first max wins.
+
+    ``out`` is a 2-element float64 scratch: ``out[0]`` receives the best
+    score, ``out[1]`` the best column (as a float, cast by the caller).
+    """
+    best = rep[s, 0] + lamb[0]  # placeholder, overwritten below
+    best_col = 0
+    first = True
+    for j in range(k):
+        t = lamb[j] + rep[s, j]
+        if use_cs:
+            t = t + cs[s, j]
+        if first or t > best:
+            best = t
+            best_col = j
+            first = False
+    out[0] = best
+    out[1] = best_col
+    return best
+
+
+def scan_nbr(slots, nbr_key, ui, vi, iver, out):
+    """Phase A: which of ``slots`` need their segment rebuilt in Python?"""
+    cnt = 0
+    for t in range(len(slots)):
+        s = slots[t]
+        if not nbr_fresh(nbr_key, ui, vi, iver, s):
+            out[cnt] = s
+            cnt += 1
+    return cnt
+
+
+# ----------------------------------------------------------------------
+# The rescore transaction (pop / rule 2 / rule 3 share it)
+# ----------------------------------------------------------------------
+
+
+def rescore(slots, score, partition, entry, slot_version, rep, cs, rep_key,
+            nbr_key, cs_sum, ui, vi, nbr_start, nbr_count, pool, replicas,
+            row_version, deg, iver, partition_ids, lamb, version,
+            max_degree, use_cs, score_sum, scratch2, io_i):
+    """Rescore ``slots`` (already entry-ordered) against the current state.
+
+    Per slot: a version-fresh slot whose memos are all exact is skipped
+    (its cache equals what a fresh recomputation would produce — the
+    rule-2 lazy saving); otherwise invalid components are recomputed,
+    the total reassembled, and the score sum accumulated with the same
+    scalar adds as the object window.  Neighborhood segments of every
+    slot that recomputes CS must be fresh on entry (run :func:`scan_nbr`
+    and rebuild first).  Returns the new score sum; ``io_i[0:3]``
+    receive (rescored, rep_recomputed, cs_recomputed) tallies.
+    """
+    k = len(partition_ids)
+    n_res = 0
+    n_rep = 0
+    n_cs = 0
+    for t in range(len(slots)):
+        s = slots[t]
+        fresh_r = rep_fresh(rep_key, ui, vi, row_version, deg, max_degree, s)
+        fresh_c = True
+        if use_cs:
+            if nbr_fresh(nbr_key, ui, vi, iver, s):
+                fresh_c = (cs_sum[s] == nbr_version_sum(
+                    nbr_start, nbr_count, pool, row_version, s))
+            else:
+                fresh_c = False
+        if slot_version[s] == version and fresh_r and fresh_c:
+            continue
+        if not fresh_r:
+            recompute_rep(rep, rep_key, ui, vi, replicas, row_version, deg,
+                          max_degree, k, s)
+            n_rep += 1
+        if use_cs and not fresh_c:
+            recompute_cs(cs, cs_sum, nbr_start, nbr_count, pool, replicas,
+                         row_version, k, s)
+            n_cs += 1
+        best = assemble(rep, cs, lamb, use_cs, k, s, scratch2)
+        col = int(scratch2[1])
+        score_sum += best - score[s]
+        score[s] = best
+        partition[s] = partition_ids[col]
+        slot_version[s] = version
+        n_res += 1
+    io_i[0] = n_res
+    io_i[1] = n_rep
+    io_i[2] = n_cs
+    return score_sum
+
+
+def pop_agenda(heap, heap_pos, hctl, scratch, score, partition, entry,
+               slot_version, rep, cs, rep_key, nbr_key, cs_sum, ui, vi,
+               nbr_start, nbr_count, pool, replicas, row_version, deg,
+               iver, partition_ids, lamb, version, max_degree, use_cs,
+               io_f, io_i):
+    """The fused pop transaction over the candidate agenda.
+
+    Collects the version-stale candidates (entry-ordered), verifies
+    their neighborhood segments, rescores them, repairs the heap (a
+    lone moved key sifts in place, several trigger a full heapify), and
+    returns the root — the exact slot the reference's ordered argmax
+    would pick.  Returns ``-1`` with ``io_i[3] = m`` when ``m`` segments
+    must first be rebuilt in Python (their slots are in ``scratch[:m]``;
+    the call is restartable).  ``io_f[0]`` carries the score sum in and
+    out; ``io_i[0:3]`` the rescore tallies.
+    """
+    n = hctl[0]
+    if n == 0:
+        return -2
+    # Collect stale candidates, then shell-sort them by entry id (gap
+    # sequence 3h+1; entries are unique, so the order is total).
+    m = 0
+    for i in range(n):
+        s = heap[i]
+        if slot_version[s] != version:
+            scratch[m] = s
+            m += 1
+    gap = 1
+    while gap < m // 3:
+        gap = 3 * gap + 1
+    while gap > 0:
+        for i in range(gap, m):
+            s = scratch[i]
+            e = entry[s]
+            j = i
+            while j >= gap and entry[scratch[j - gap]] > e:
+                scratch[j] = scratch[j - gap]
+                j -= gap
+            scratch[j] = s
+        gap //= 3
+    if use_cs:
+        need = 0
+        for t in range(m):
+            s = scratch[t]
+            if not nbr_fresh(nbr_key, ui, vi, iver, s):
+                scratch[n + need] = s
+                need += 1
+        if need > 0:
+            for t in range(need):
+                scratch[t] = scratch[n + t]
+            io_i[3] = need
+            return -1
+    if m > 0:
+        stale = scratch[:m]
+        io_f[0] = rescore(stale, score, partition, entry, slot_version,
+                          rep, cs, rep_key, nbr_key, cs_sum, ui, vi,
+                          nbr_start, nbr_count, pool, replicas,
+                          row_version, deg, iver, partition_ids, lamb,
+                          version, max_degree, use_cs, io_f[0],
+                          io_f[1:3], io_i)
+        # Heap repair: a single moved key sifts in place; for several,
+        # only a full heapify is sound (sequential per-key fixes can
+        # leave violations between two moved keys).
+        if m == 1:
+            heap_fix(heap, heap_pos, score, entry, n, heap_pos[scratch[0]])
+        else:
+            heap_heapify(heap, heap_pos, hctl, score, entry)
+    else:
+        io_i[0] = 0
+        io_i[1] = 0
+        io_i[2] = 0
+    return heap[0]
+
+
+def add_score(s, du, dv, seg_start, seg_count, score, partition, entry,
+              slot_version, rep, cs, rep_key, nbr_key, cs_sum, ui, vi,
+              nbr_start, nbr_count, pool, replicas, row_version, deg,
+              iver, partition_ids, lamb, version, max_degree, use_cs,
+              scratch2):
+    """Rule 1: score a freshly inserted slot and seed exact memos.
+
+    The caller has observed the edge (degrees current), interned the
+    endpoints, bumped their incidence versions and written the
+    neighborhood segment; this computes R and CS against the live
+    tables, stamps both keys at the current counters, assembles the
+    total, and caches (score, partition, version).  Returns the score.
+    """
+    k = len(partition_ids)
+    ui[s] = du
+    vi[s] = dv
+    nbr_start[s] = seg_start
+    nbr_count[s] = seg_count
+    recompute_rep(rep, rep_key, ui, vi, replicas, row_version, deg,
+                  max_degree, k, s)
+    nbr_key[s, 0] = iver[du]
+    nbr_key[s, 1] = iver[dv]
+    if use_cs:
+        recompute_cs(cs, cs_sum, nbr_start, nbr_count, pool, replicas,
+                     row_version, k, s)
+    best = assemble(rep, cs, lamb, use_cs, k, s, scratch2)
+    col = int(scratch2[1])
+    score[s] = best
+    partition[s] = partition_ids[col]
+    slot_version[s] = version
+    return best
+
+
+def replication_rows_core(rows, psi, n, out):
+    """Fused-endpoint replication scores over gathered replica rows.
+
+    ``rows`` stacks n u-rows then n v-rows (as ``replication_batch``
+    gathers them); per element the result is
+    ``rows[i]·(2−psi[i]) + rows[n+i]·(2−psi[n+i])`` — the same two
+    products and one add, in the same order, as the numpy form.
+    """
+    k = rows.shape[1]
+    for i in range(n):
+        wu = 2.0 - psi[i]
+        wv = 2.0 - psi[n + i]
+        for j in range(k):
+            a = wu if rows[i, j] else 0.0
+            b = wv if rows[n + i, j] else 0.0
+            out[i, j] = a + b
+    return out
+
+
+def clustering_rows_core(rows, counts, out):
+    """Mean replica hits per neighborhood segment of gathered rows.
+
+    Hit counts accumulate exactly (integers below 2**53 in float64)
+    and divide once by the segment length, matching the int64
+    ``reduceat`` + single division of ``clustering_batch``.  Zero-count
+    segments stay all-zero.
+    """
+    n = counts.shape[0]
+    k = rows.shape[1]
+    pos = 0
+    for i in range(n):
+        cnt = counts[i]
+        for j in range(k):
+            out[i, j] = 0.0
+        for t in range(cnt):
+            for j in range(k):
+                if rows[pos + t, j]:
+                    out[i, j] += 1.0
+        if cnt > 0:
+            for j in range(k):
+                out[i, j] = out[i, j] / cnt
+        pos += cnt
+    return out
+
+
+#: Names wrapped by the numba backend, in dependency order.
+KERNEL_FUNCTIONS = (
+    "heap_better", "sift_up", "sift_down", "heap_fix", "heap_push",
+    "heap_remove", "heap_heapify", "rep_fresh", "nbr_fresh",
+    "nbr_version_sum", "recompute_rep", "recompute_cs", "assemble",
+    "scan_nbr", "rescore", "pop_agenda", "add_score",
+    "replication_rows_core", "clustering_rows_core",
+)

@@ -51,10 +51,26 @@ from repro.simtime import Clock
 WINDOW_BACKENDS = ("auto", "array", "object")
 
 #: Window size at which the ``auto`` backend switches from the object
-#: window to the struct-of-arrays window.  Below this the per-slot array
-#: machinery costs more than it batches (measured crossover ~w=32 on the
-#: power-law workload); at and above it the batched kernels win outright.
+#: window to the struct-of-arrays window when the array window runs on
+#: the *numpy* kernel fallback.  Below this the per-slot array machinery
+#: costs more than it batches (measured crossover ~w=32 on the power-law
+#: workload); at and above it the batched kernels win outright.
 ARRAY_WINDOW_MIN_SIZE = 32
+
+#: The same switch point when a native kernel backend (compiled C or
+#: numba — see DESIGN.md §14) is available: the fused add/pop kernels
+#: have far lower per-edge constants than the vectorised fallback, so
+#: the array window already wins on small windows.
+ARRAY_WINDOW_MIN_SIZE_NATIVE = 8
+
+
+def _array_window_min_size() -> int:
+    """The auto-tier threshold for the resolved kernel backend."""
+    from repro.core import _kernels
+
+    if _kernels.resolve_backend_name() in ("cc", "numba"):
+        return ARRAY_WINDOW_MIN_SIZE_NATIVE
+    return ARRAY_WINDOW_MIN_SIZE
 
 
 class AdwisePartitioner(StreamingPartitioner):
@@ -88,11 +104,13 @@ class AdwisePartitioner(StreamingPartitioner):
     window_backend:
         ``"auto"`` (default) picks per window size on a fast state: the
         struct-of-arrays :class:`~repro.core.array_window.ArrayEdgeWindow`
-        for fixed windows of at least :data:`ARRAY_WINDOW_MIN_SIZE`, the
-        dict-of-objects :class:`~repro.core.window.EdgeWindow` for small
-        windows, and — for adaptive windows — a hybrid that starts on the
-        object window and migrates (state copied verbatim) once the
-        controller grows past the threshold.  ``"array"`` and ``"object"``
+        for fixed windows of at least the kernel-tiered threshold
+        (:data:`ARRAY_WINDOW_MIN_SIZE_NATIVE` with a compiled kernel
+        backend, :data:`ARRAY_WINDOW_MIN_SIZE` on the numpy fallback),
+        the dict-of-objects :class:`~repro.core.window.EdgeWindow` for
+        small windows, and — for adaptive windows — a hybrid that starts
+        on the object window and migrates (state copied verbatim) once
+        the controller grows past the threshold.  ``"array"`` and ``"object"``
         force one implementation (the array window requires a fast
         state).  All backends produce bit-identical results — the object
         window is the differential reference.
@@ -182,16 +200,17 @@ class AdwisePartitioner(StreamingPartitioner):
         self._migrate_at: Optional[int] = None
         if backend == "auto":
             fast = getattr(self.state, "is_fast", False)
+            min_size = _array_window_min_size()
             if not fast:
                 backend = "object"
             elif (self.fixed_window is not None
-                    and self.fixed_window >= ARRAY_WINDOW_MIN_SIZE):
+                    and self.fixed_window >= min_size):
                 backend = "array"
             else:
                 backend = "object"
                 if (self.fixed_window is None
-                        and self.max_window >= ARRAY_WINDOW_MIN_SIZE):
-                    self._migrate_at = ARRAY_WINDOW_MIN_SIZE
+                        and self.max_window >= min_size):
+                    self._migrate_at = min_size
         if backend == "array":
             from repro.core.array_window import ArrayEdgeWindow
 
@@ -293,6 +312,15 @@ class AdwisePartitioner(StreamingPartitioner):
             if rescored:
                 obs.gauge("repro_window_memo_hit_rate", component=component,
                           **labels).set(1.0 - recomputed / rescored)
+        kernel = getattr(window, "kernel_backend", None)
+        if kernel is not None:  # k-best agenda tallies (array window only)
+            heap_labels = dict(labels, kernel=kernel)
+            for op, tally in (
+                    ("push", getattr(window, "stat_heap_pushes", 0)),
+                    ("remove", getattr(window, "stat_heap_removes", 0)),
+                    ("reheap", getattr(window, "stat_reheaps", 0))):
+                obs.counter("repro_window_agenda_ops_total", op=op,
+                            **heap_labels).inc(tally)
         if self.controller is not None:
             obs.gauge("repro_window_size",
                       algorithm=self.name).set(self.controller.window_size)
@@ -338,7 +366,11 @@ class AdwisePartitioner(StreamingPartitioner):
             assignments[edge] = partition
             out.append(Assignment(edge, partition))
             scoring.after_assignment()
-            window.on_replicas_changed(changed)
+            if changed:
+                # Rule 3 with no changed replica sets touches nothing in
+                # either window engine (no rescores, no promotions, no
+                # charges) — skip the call on the hot path.
+                window.on_replicas_changed(changed)
             controller.record(score, clock.now())
             if (self._migrate_at is not None
                     and controller.window_size >= self._migrate_at):

@@ -1,53 +1,61 @@
-"""Array-native edge window: struct-of-arrays lazy traversal (fast path).
+"""Array-native edge window: k-best agenda over pull-validated memos.
 
 :class:`ArrayEdgeWindow` is the batched twin of
 :class:`~repro.core.window.EdgeWindow`.  Window slots live in parallel
-preallocated arrays (endpoints, cached best score/partition, cache
-version, candidate and alive masks) managed through a free-list, with an
-incidence index from vertex → slots for the window-local neighborhoods.
-The three lazy-traversal rules become masked batch operations:
+preallocated arrays (dense endpoint indices, cached best
+score/partition, cache version, candidate and alive masks) managed
+through a free-list, with an incidence index from dense vertex → slots
+for the window-local neighborhoods.  The traversal hot path runs through
+the kernel backends of :mod:`repro.core._kernels` (compiled C / numba /
+vectorised numpy, selected at window construction — DESIGN.md §14):
 
-* **refill** scores a whole block of incoming edges through one
-  :meth:`~repro.core.scoring.AdwiseScoring.score_batch` call,
-* **pop_best** refreshes all stale candidates as one batch and takes the
-  argmax over the candidate mask,
+* **refill** scores each incoming edge through the fused add kernel
+  (native backends) or one vectorised block computation (numpy),
+* **pop_best** pops the k-best *agenda* — an indexed binary max-heap
+  keyed ``(score desc, entry asc)`` over the candidate set — after a
+  single kernel transaction rescored the version-stale candidates and
+  repaired the heap,
 * **rule 2** (empty candidate set) and **rule 3** (replica-set changes)
-  push all touched secondary slots through the kernels together.
+  rescore the affected secondary slots through the same kernel.
 
-On top of the batching, per-slot **component memos** exploit that the
-score ``g(e, p) = λ·B(p) + R(e, p) + CS(e, p)`` restricts how much of a
-rescore actually changed: ``λ·B`` is shared (memoized on the scoring
-function), ``R`` moves only when an endpoint's replica row or degree
-moves, and ``CS`` only when the slot's window neighborhood or a
-neighbor's replica row moves.  Rescoring therefore recomputes ``R``/``CS``
-just for slots invalidated since the last pop — all invalidation is
-pushed: :meth:`on_replicas_changed` sweeps one hop for ``R`` and two hops
-for ``CS``, the add paths' degree observations sweep the endpoints'
-incident slots, and window membership changes sweep through
-:meth:`_touch_vertex` — and assembles everyone else's score with two
-broadcast adds over the cached ``(w, k)`` component matrices.
+Staleness is **pulled, not pushed**.  Each slot carries validity keys
+next to its memoized R/CS component rows: ``rep_key`` records the
+replica-row versions, degrees and global max degree R was computed
+from; ``nbr_key`` records the endpoints' incidence versions when the
+neighborhood segment was written; ``cs_sum`` checksums the neighbor
+replica-row versions CS was computed from (versions only grow, so
+equality proves nothing moved).  A rescore compares keys against the
+live counters and recomputes only what actually moved — no invalidation
+sweeps on the mutation paths at all.  A version-fresh slot whose keys
+all match is skipped outright: its cache bit-equals what a fresh
+recomputation would produce (the rule-2 lazy saving), while the
+simulated clock is still charged for the full rescore set, keeping the
+paper's cost model.
 
-The object window performs the same traversal one ``score_all`` call per
-edge; this class replays each of its scalar loops in the same ascending
-entry-id order, reproducing the reference's floating-point accumulation,
-tie-breaking, and clock charges exactly — assignments, latency, and
-score-computation counts are bit-identical (a memo only ever serves the
-exact array a fresh computation would produce; the simulated clock is
-still charged ``k`` per rescored slot, keeping the paper's cost model).
-Enforced by ``tests/test_array_window.py``.
+The object window performs the same traversal one ``score_all`` call
+per edge; this class replays each of its scalar loops in the same
+ascending entry-id order, reproducing the reference's floating-point
+accumulation, tie-breaking, and clock charges exactly — assignments,
+latency, and score-computation counts are bit-identical (the agenda's
+strict total order makes the heap root the reference's
+first-max-in-entry-order).  Enforced by ``tests/test_array_window.py``
+and ``tests/test_kbest_agenda.py``.
 
 Two contracts are stricter than the object window's, both satisfied by
 Algorithm 1's main loop: every replica-set change affecting scored
 vertices must be reported via :meth:`on_replicas_changed` (the loop does
 this after every assignment; it matters also when ``lazy`` is off), and
-mid-stream degree observations must flow through the add paths' ``observe``
-hook — the push invalidation relies on both.
+mid-stream degree observations must flow through the add paths'
+``observe`` hook — the validity keys are stamped against the state
+tables those paths maintain.
 
 Capacity management: slot arrays double on demand during refill and are
-compacted (slots renumbered, incidence rebuilt) when occupancy falls
-below a quarter of capacity after the adaptive controller shrinks the
-window — renumbering is safe because every ordering contract is defined
-on entry ids, never slot positions.
+compacted (slots renumbered, incidence and agenda rebuilt) when
+occupancy falls below a quarter of capacity after the adaptive
+controller shrinks the window — renumbering is safe because every
+ordering contract is defined on entry ids, never slot positions.
+Neighborhood segments live in a pooled arena that is repacked when
+append space runs out.
 """
 
 from __future__ import annotations
@@ -56,12 +64,18 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tupl
 
 import numpy as np
 
+from repro.core import _kernels
 from repro.core.scoring import AdwiseScoring
 from repro.graph.graph import Edge
 
 #: Smallest slot-array capacity; also the floor below which no
 #: compaction is attempted.
 _MIN_CAPACITY = 64
+
+#: Agenda strategies: ``heap`` maintains the k-best agenda, ``scan``
+#: keeps the PR-5 sorted-scan selection (differential control path),
+#: ``auto`` resolves to ``heap``.
+AGENDAS = ("auto", "heap", "scan")
 
 
 class ArrayEdgeWindow:
@@ -70,16 +84,20 @@ class ArrayEdgeWindow:
     API-compatible with :class:`~repro.core.window.EdgeWindow` (same
     constructor contract, same traversal methods, same counters), but
     requires a fast (array-backed) partition state on ``scoring`` —
-    the batched kernels read replica rows and degrees wholesale.
+    the kernels read replica rows, row versions and degrees wholesale
+    by dense vertex index.
     """
 
     def __init__(self, scoring: AdwiseScoring, lazy: bool = True,
                  epsilon: float = 0.1, max_candidates: int = 64,
-                 initial_capacity: int = _MIN_CAPACITY) -> None:
+                 initial_capacity: int = _MIN_CAPACITY,
+                 agenda: str = "auto") -> None:
         if not 0.0 <= epsilon <= 1.0:
             raise ValueError(f"epsilon must be in [0, 1], got {epsilon}")
         if max_candidates < 1:
             raise ValueError("max_candidates must be >= 1")
+        if agenda not in AGENDAS:
+            raise ValueError(f"agenda must be one of {AGENDAS}, got {agenda!r}")
         if not getattr(scoring.state, "is_fast", False):
             raise ValueError(
                 "ArrayEdgeWindow requires an array-backed partition state "
@@ -88,6 +106,7 @@ class ArrayEdgeWindow:
         self.lazy = lazy
         self.epsilon = epsilon
         self.max_candidates = max_candidates
+        self.agenda = agenda
         state = scoring.state
         k = state.num_partitions
         capacity = max(_MIN_CAPACITY, int(initial_capacity))
@@ -104,22 +123,39 @@ class ArrayEdgeWindow:
         # on slot numbers, only entry ids).
         self._free: List[int] = list(range(capacity - 1, -1, -1))
         self._slot_of: Dict[int, int] = {}
-        self._incidence: Dict[int, Set[int]] = {}
-        # Component memos (see module docstring).  ``_rep``/``_cs`` hold
-        # the R and CS vectors per slot; the validity flags and keys are
-        # plain Python lists — they are read slot-by-slot on the hot path,
-        # where list indexing beats ndarray scalar access.
+        # Dense-vertex incidence: vertex row → {slot: other endpoint's
+        # dense row}.  The values are exactly the window-local
+        # neighborhood contributions, so neighborhoods come straight off
+        # the bucket values.
+        self._incidence: Dict[int, Dict[int, int]] = {}
+        # Component memos + pull-validity keys (see module docstring).
         self._rep = np.zeros((capacity, k), dtype=np.float64)
         self._cs = np.zeros((capacity, k), dtype=np.float64)
-        self._rep_valid: List[bool] = [False] * capacity
-        self._cs_valid: List[bool] = [False] * capacity
-        self._last_max_degree = state.max_degree
-        # Per-slot neighborhood memo.  A slot's window-local neighborhood
-        # only changes when a slot incident to one of its endpoints is
-        # added or removed; those mutations push-clear the memo (see
-        # :meth:`_touch_vertex`), so a non-``None`` entry is always live.
-        self._nbr_cache: List[Optional[List[int]]] = [None] * capacity
-        self._partition_ids = np.asarray(state.partitions, dtype=np.int64)
+        self._rep_key = np.full((capacity, 5), -1, dtype=np.int64)
+        self._nbr_key = np.full((capacity, 2), -1, dtype=np.int64)
+        self._cs_sum = np.full(capacity, -1, dtype=np.int64)
+        self._ui = np.zeros(capacity, dtype=np.int64)
+        self._vi = np.zeros(capacity, dtype=np.int64)
+        # Pooled neighborhood segments (dense indices).  Rebuilt segments
+        # are appended; the arena is repacked when append space runs out.
+        self._nbr_start = np.zeros(capacity, dtype=np.int64)
+        self._nbr_count = np.zeros(capacity, dtype=np.int64)
+        self._pool = np.zeros(max(256, 4 * capacity), dtype=np.int64)
+        self._pool_used = 0
+        # Per-dense-vertex incidence version; grown to the state's intern
+        # capacity on binding refresh.
+        self._iver = np.zeros(0, dtype=np.int64)
+        # The k-best agenda (candidate slots; hctl[0] is the heap size).
+        self._heap = np.zeros(capacity, dtype=np.int64)
+        self._heap_pos = np.full(capacity, -1, dtype=np.int64)
+        self._hctl = np.zeros(4, dtype=np.int64)
+        self._scratch = np.zeros(2 * capacity, dtype=np.int64)
+        # Kernel I/O buffers (bound once for the cc backend).
+        self._lamb = np.zeros(k, dtype=np.float64)
+        self._io_f = np.zeros(4, dtype=np.float64)
+        self._io_i = np.zeros(8, dtype=np.int64)
+        self._scratch2 = np.zeros(2, dtype=np.float64)
+        self._pids = np.asarray(state.partitions, dtype=np.int64)
         self._next_id = 0
         self._count = 0
         self._num_candidates = 0
@@ -135,12 +171,26 @@ class ArrayEdgeWindow:
         self.stat_refills = 0
         #: ``pop_best`` calls (assignments emitted).
         self.stat_pops = 0
-        #: Slots rescored through the batched component path.
+        #: Slots actually rescored (version- or memo-stale at rescore).
         self.stat_rescored_slots = 0
-        #: Replication components actually recomputed (memo misses).
+        #: Replication components actually recomputed (key misses).
         self.stat_rep_recomputed = 0
-        #: Clustering components actually recomputed (memo misses).
+        #: Clustering components actually recomputed (key misses).
         self.stat_cs_recomputed = 0
+        #: Agenda insertions (adds classified candidate + promotions).
+        self.stat_heap_pushes = 0
+        #: Agenda removals (pops and evictions).
+        self.stat_heap_removes = 0
+        #: Pops that repaired the agenda after rescoring stale keys.
+        self.stat_reheaps = 0
+        self._use_heap = agenda != "scan"
+        self._kern = _kernels.load_kernels(self)
+        self._bound_replicas: Optional[np.ndarray] = None
+
+    @property
+    def kernel_backend(self) -> str:
+        """Resolved kernel backend name (``cc``/``numba``/``numpy``/...)."""
+        return self._kern.name
 
     # ------------------------------------------------------------------
     # Introspection (EdgeWindow API)
@@ -172,63 +222,119 @@ class ArrayEdgeWindow:
     # ------------------------------------------------------------------
     def neighborhood(self, edge: Edge,
                      exclude_entry: Optional[int] = None) -> Set[int]:
-        """``N(u) ∪ N(v)`` computed from window edges only (paper §III-C)."""
+        """``N(u) ∪ N(v)`` computed from window edges only (paper §III-C).
+
+        Returned as original vertex ids (the :class:`EdgeWindow` API);
+        the kernels use the dense form below.
+        """
         exclude_slot = (self._slot_of.get(exclude_entry)
                         if exclude_entry is not None else None)
-        return self._slot_neighborhood(edge.u, edge.v, exclude_slot)
-
-    def _slot_neighborhood(self, u: int, v: int,
-                           exclude_slot: Optional[int]) -> Set[int]:
-        nbrs: Set[int] = set()
-        incidence = self._incidence
+        vindex = self.scoring.state._vindex
         edges = self._edges
-        for endpoint in (u, v):
-            for slot in incidence.get(endpoint, ()):
+        nbrs: Set[int] = set()
+        for endpoint in (edge.u, edge.v):
+            dense = vindex.get(endpoint)
+            if dense is None:
+                continue
+            for slot in self._incidence.get(dense, ()):
                 if slot == exclude_slot:
                     continue
                 other = edges[slot]
                 nbrs.add(other.v if other.u == endpoint else other.u)
-        nbrs.discard(u)
-        nbrs.discard(v)
+        nbrs.discard(edge.u)
+        nbrs.discard(edge.v)
         return nbrs
 
-    def _nbr_list(self, slot: int) -> List[int]:
-        """Cached window-local neighborhood of ``slot`` (self excluded)."""
-        cached = self._nbr_cache[slot]
-        if cached is not None:
-            return cached
-        edge = self._edges[slot]
-        nbrs = list(self._slot_neighborhood(edge.u, edge.v, slot))
-        self._nbr_cache[slot] = nbrs
-        return nbrs
+    def _dense_neighborhood(self, du: int, dv: int) -> Set[int]:
+        """``N(u) ∪ N(v)`` as dense rows.  Self-contributions need no
+        exclusion: an edge's own incidence values are its endpoints,
+        which are discarded regardless (as the reference does)."""
+        out: Set[int] = set()
+        bucket = self._incidence.get(du)
+        if bucket:
+            out.update(bucket.values())
+        if dv != du:
+            bucket = self._incidence.get(dv)
+            if bucket:
+                out.update(bucket.values())
+        out.discard(du)
+        out.discard(dv)
+        return out
 
-    def _touch_vertex(self, vertex: int) -> None:
-        """Window membership at ``vertex`` changed: push-clear the
-        neighborhood and clustering memos of its incident slots."""
-        nbr_cache = self._nbr_cache
-        cs_valid = self._cs_valid
-        for slot in self._incidence.get(vertex, ()):
-            nbr_cache[slot] = None
-            cs_valid[slot] = False
-
-    def _degrees_moved(self, edge: Edge) -> None:
-        """Push-invalidate replication memos after ``edge`` was observed.
-
-        Observing an edge bumps its endpoints' degrees (shifting their Ψ),
-        and may raise the global max degree (shifting every Ψ).  Called by
-        the add paths right after the observe hook — the only place the
-        streaming protocol mutates the degree table mid-stream.
-        """
+    # ------------------------------------------------------------------
+    # Kernel binding and buffer management
+    # ------------------------------------------------------------------
+    def _refresh_bindings(self) -> None:
+        """Sync the replica matrix and rebind kernel pointers if the
+        state's arrays were reallocated (intern table growth)."""
         state = self.scoring.state
-        if state.max_degree != self._last_max_degree:
-            self._rep_valid = [False] * self._capacity
-            self._last_max_degree = state.max_degree
-            return
-        incidence = self._incidence
-        rep_valid = self._rep_valid
-        for endpoint in (edge.u, edge.v):
-            for slot in incidence.get(endpoint, ()):
-                rep_valid[slot] = False
+        replicas = state.replica_matrix()
+        if (replicas is not self._bound_replicas
+                or len(self._iver) < replicas.shape[0]):
+            if len(self._iver) < replicas.shape[0]:
+                iver = np.zeros(replicas.shape[0], dtype=np.int64)
+                iver[:len(self._iver)] = self._iver
+                self._iver = iver
+            self._kern.bind(self)
+            self._bound_replicas = replicas
+
+    def _pool_alloc(self, count: int) -> int:
+        need = self._pool_used + count
+        if need > len(self._pool):
+            self._pool_gc(count)
+        start = self._pool_used
+        self._pool_used = start + count
+        return start
+
+    def _pool_gc(self, extra: int) -> None:
+        """Repack live segments (dropping dead slots' garbage), growing
+        the arena if the live data itself outgrew it."""
+        alive = np.flatnonzero(self._alive)
+        live = int(self._nbr_count[alive].sum())
+        capacity = len(self._pool)
+        while capacity < 2 * (live + extra):
+            capacity *= 2
+        pool = np.zeros(capacity, dtype=np.int64)
+        used = 0
+        old_pool = self._pool
+        starts = self._nbr_start
+        counts = self._nbr_count
+        for slot in alive.tolist():
+            cnt = int(counts[slot])
+            if cnt:
+                start = int(starts[slot])
+                pool[used:used + cnt] = old_pool[start:start + cnt]
+                starts[slot] = used
+                used += cnt
+        self._pool = pool
+        self._pool_used = used
+        self._kern.bind(self)
+
+    def _rebuild_segments(self, needy) -> None:
+        """Rewrite the pooled neighborhood segments of ``needy`` slots
+        and restamp their keys (CS checksum forced invalid — the
+        segment changed, so the memoized CS is for a different set)."""
+        iver = self._iver
+        nbr_key = self._nbr_key
+        for slot in needy.tolist():
+            du = int(self._ui[slot])
+            dv = int(self._vi[slot])
+            nbrs = self._dense_neighborhood(du, dv)
+            cnt = len(nbrs)
+            if cnt:
+                start = self._pool_alloc(cnt)
+                pool = self._pool
+                i = start
+                for dense in nbrs:
+                    pool[i] = dense
+                    i += 1
+            else:
+                start = 0
+            self._nbr_start[slot] = start
+            self._nbr_count[slot] = cnt
+            nbr_key[slot, 0] = iver[du]
+            nbr_key[slot, 1] = iver[dv]
+            self._cs_sum[slot] = -1
 
     # ------------------------------------------------------------------
     # Slot management
@@ -248,8 +354,9 @@ class ArrayEdgeWindow:
             out[:old] = array
             return out
 
-        def grown2(matrix):
-            out = np.zeros((capacity, k), dtype=matrix.dtype)
+        def grown2(matrix, fill=0):
+            out = np.full((capacity, matrix.shape[1]), fill,
+                          dtype=matrix.dtype)
             out[:old] = matrix
             return out
 
@@ -261,13 +368,21 @@ class ArrayEdgeWindow:
         self._alive = grown(self._alive, False)
         self._rep = grown2(self._rep)
         self._cs = grown2(self._cs)
+        self._rep_key = grown2(self._rep_key, -1)
+        self._nbr_key = grown2(self._nbr_key, -1)
+        self._cs_sum = grown(self._cs_sum, -1)
+        self._ui = grown(self._ui, 0)
+        self._vi = grown(self._vi, 0)
+        self._nbr_start = grown(self._nbr_start, 0)
+        self._nbr_count = grown(self._nbr_count, 0)
+        self._heap = grown(self._heap, 0)
+        self._heap_pos = grown(self._heap_pos, -1)
+        self._scratch = np.zeros(2 * capacity, dtype=np.int64)
         extra = capacity - old
         self._edges.extend([None] * extra)
-        self._rep_valid.extend([False] * extra)
-        self._cs_valid.extend([False] * extra)
-        self._nbr_cache.extend([None] * extra)
         self._free.extend(range(capacity - 1, old - 1, -1))
         self._capacity = capacity
+        self._kern.bind(self)
 
     def _compact(self) -> None:
         """Repack live slots at the front and shrink the arrays.
@@ -275,8 +390,9 @@ class ArrayEdgeWindow:
         Entry ids are preserved; only slot numbers change, which is
         invisible to the traversal semantics (all ordering is by entry
         id).  Runs after the adaptive controller shrinks the window far
-        below the grown capacity.  Component memos are carried over —
-        their validity keys do not involve slot numbers.
+        below the grown capacity.  Memos, validity keys and pooled
+        segments are carried over — none of them involve slot numbers —
+        and the agenda is rebuilt over the renumbered candidate set.
         """
         live = self._sorted_slots()
         count = len(live)
@@ -292,6 +408,13 @@ class ArrayEdgeWindow:
         alive = np.zeros(capacity, dtype=bool)
         rep = np.zeros((capacity, k), dtype=np.float64)
         cs = np.zeros((capacity, k), dtype=np.float64)
+        rep_key = np.full((capacity, 5), -1, dtype=np.int64)
+        nbr_key = np.full((capacity, 2), -1, dtype=np.int64)
+        cs_sum = np.full(capacity, -1, dtype=np.int64)
+        ui = np.zeros(capacity, dtype=np.int64)
+        vi = np.zeros(capacity, dtype=np.int64)
+        nbr_start = np.zeros(capacity, dtype=np.int64)
+        nbr_count = np.zeros(capacity, dtype=np.int64)
         score[:count] = self._score[live]
         partition[:count] = self._partition[live]
         entry[:count] = self._entry[live]
@@ -300,33 +423,51 @@ class ArrayEdgeWindow:
         alive[:count] = True
         rep[:count] = self._rep[live]
         cs[:count] = self._cs[live]
-        live_list = live.tolist()
+        rep_key[:count] = self._rep_key[live]
+        nbr_key[:count] = self._nbr_key[live]
+        cs_sum[:count] = self._cs_sum[live]
+        ui[:count] = self._ui[live]
+        vi[:count] = self._vi[live]
+        nbr_start[:count] = self._nbr_start[live]
+        nbr_count[:count] = self._nbr_count[live]
         edges: List[Optional[Edge]] = [None] * capacity
-        rep_valid = [False] * capacity
-        cs_valid = [False] * capacity
-        nbr_cache: List[Optional[List[int]]] = [None] * capacity
-        for new_slot, old_slot in enumerate(live_list):
+        for new_slot, old_slot in enumerate(live.tolist()):
             edges[new_slot] = self._edges[old_slot]
-            rep_valid[new_slot] = self._rep_valid[old_slot]
-            cs_valid[new_slot] = self._cs_valid[old_slot]
-            nbr_cache[new_slot] = self._nbr_cache[old_slot]
         self._score, self._partition = score, partition
         self._entry, self._slot_version = entry, version
         self._candidate, self._alive = candidate, alive
         self._rep, self._cs = rep, cs
+        self._rep_key, self._nbr_key, self._cs_sum = rep_key, nbr_key, cs_sum
+        self._ui, self._vi = ui, vi
+        self._nbr_start, self._nbr_count = nbr_start, nbr_count
         self._edges = edges
-        self._rep_valid = rep_valid
-        self._cs_valid = cs_valid
-        self._nbr_cache = nbr_cache
         self._capacity = capacity
         self._free = list(range(capacity - 1, count - 1, -1))
         self._slot_of = {int(entry[s]): s for s in range(count)}
-        incidence: Dict[int, Set[int]] = {}
+        incidence: Dict[int, Dict[int, int]] = {}
         for slot in range(count):
-            edge = edges[slot]
-            for endpoint in (edge.u, edge.v):
-                incidence.setdefault(endpoint, set()).add(slot)
+            du = int(ui[slot])
+            dv = int(vi[slot])
+            incidence.setdefault(du, {})[slot] = dv
+            incidence.setdefault(dv, {})[slot] = du
         self._incidence = incidence
+        self._heap = np.zeros(capacity, dtype=np.int64)
+        self._heap_pos = np.full(capacity, -1, dtype=np.int64)
+        self._scratch = np.zeros(2 * capacity, dtype=np.int64)
+        self._hctl[0] = 0
+        self._kern.bind(self)
+        if self._use_heap:
+            self._rebuild_heap()
+
+    def _rebuild_heap(self) -> None:
+        """Refill the agenda from the candidate mask and heapify."""
+        cands = np.flatnonzero(self._candidate)
+        m = len(cands)
+        self._hctl[0] = m
+        if m:
+            self._heap[:m] = cands
+            self._heap_pos[cands] = np.arange(m, dtype=np.int64)
+            self._kern.heap_rebuild(self)
 
     def _sorted_slots(self, candidate: Optional[bool] = None) -> np.ndarray:
         """Live slots in ascending entry-id order, optionally filtered."""
@@ -342,82 +483,33 @@ class ArrayEdgeWindow:
         return slots
 
     # ------------------------------------------------------------------
-    # Batched rescoring over the component memos
+    # Rescoring through the kernel backend
     # ------------------------------------------------------------------
-    def _rescore_slots(self, slots: np.ndarray) -> np.ndarray:
-        """Rescore ``slots`` (entry-id order); return the new best scores.
+    def _rescore_batch(self, slots: np.ndarray, lamb: np.ndarray,
+                       use_cs: bool) -> None:
+        """Rescore ``slots`` (entry-id order) against the current state.
 
-        Recomputes only invalidated R/CS components (one batched kernel
-        call each), assembles all totals as broadcast matrix adds, and
-        updates the per-slot caches and the score sum in the given order
-        — the same sequence of scalar float additions the object window
-        performs.  Charges ``k`` score computations per slot, like the
-        object window's per-entry ``score_all`` calls.
+        Charges ``k`` score computations per slot — the object window
+        recomputes every one of them — while the kernel reuses the
+        cache of any version-fresh slot whose validity keys all match
+        (a recomputation would bit-equal it).  Stale neighborhood
+        segments are rebuilt first, then the kernel recomputes invalid
+        R/CS components, reassembles totals, and accumulates the score
+        sum in the reference's scalar order.
         """
-        scoring = self.scoring
-        state = scoring.state
-        if scoring.clock is not None:
-            scoring.clock.charge_score(len(slots) * state.num_partitions)
-        if state.max_degree != self._last_max_degree:
-            # Ψ is normalised by the global max degree: a new maximum
-            # shifts every replication component.
-            self._rep_valid = [False] * self._capacity
-            self._last_max_degree = state.max_degree
-        edges = self._edges
-        rep_valid = self._rep_valid
-        slot_list = slots.tolist()
-        dirty_rep: List[int] = []
-        rep_us: List[int] = []
-        rep_vs: List[int] = []
-        for slot in slot_list:
-            if not rep_valid[slot]:
-                edge = edges[slot]
-                dirty_rep.append(slot)
-                rep_us.append(edge.u)
-                rep_vs.append(edge.v)
-        self.stat_rescored_slots += len(slot_list)
-        self.stat_rep_recomputed += len(dirty_rep)
-        if dirty_rep:
-            self._rep[dirty_rep] = scoring.replication_batch(rep_us, rep_vs)
-            for slot in dirty_rep:
-                rep_valid[slot] = True
-        if scoring.use_clustering:
-            cs_valid = self._cs_valid
-            dirty_cs: List[int] = []
-            cs_concat: List[int] = []
-            cs_counts: List[int] = []
-            for slot in slot_list:
-                if cs_valid[slot]:
-                    continue
-                nbrs = self._nbr_list(slot)
-                dirty_cs.append(slot)
-                cs_counts.append(len(nbrs))
-                cs_concat.extend(nbrs)
-            self.stat_cs_recomputed += len(dirty_cs)
-            if dirty_cs:
-                self._cs[dirty_cs] = scoring.clustering_batch(
-                    cs_concat, np.asarray(cs_counts, dtype=np.int64))
-                for slot in dirty_cs:
-                    cs_valid[slot] = True
-            # total = (λ·B + R) + CS in the single-edge kernel's order;
-            # all-zero CS rows (empty neighborhoods) add exactly 0.0.
-            totals = scoring._lambda_balance() + self._rep[slots]
-            totals += self._cs[slots]
-        else:
-            totals = scoring._lambda_balance() + self._rep[slots]
-        best_columns = totals.argmax(axis=1)
-        best_scores = totals.max(axis=1)
-        old_scores = self._score[slots].tolist()
-        # The score sum is accumulated slot-by-slot in entry order — the
-        # same sequence of scalar additions the object window performs.
-        score_sum = self._score_sum
-        for i, new_score in enumerate(best_scores.tolist()):
-            score_sum += new_score - old_scores[i]
-        self._score_sum = score_sum
-        self._score[slots] = best_scores
-        self._partition[slots] = self._partition_ids[best_columns]
-        self._slot_version[slots] = self._version
-        return best_scores
+        clock = self.scoring.clock
+        if clock is not None:
+            clock.charge_score(len(slots) * self.scoring.state.num_partitions)
+        kern = self._kern
+        if use_cs:
+            needy = kern.scan_nbr(self, slots)
+            if len(needy):
+                self._rebuild_segments(needy)
+        rescored, rep_recomputed, cs_recomputed = kern.rescore(
+            self, slots, lamb, use_cs)
+        self.stat_rescored_slots += rescored
+        self.stat_rep_recomputed += rep_recomputed
+        self.stat_cs_recomputed += cs_recomputed
 
     # ------------------------------------------------------------------
     # Serialization (session snapshot boundary)
@@ -445,46 +537,64 @@ class ArrayEdgeWindow:
             promotions=self.promotions,
         )
 
+    def _restore_slot(self, edge: Edge, entry_id: int, score: float,
+                      partition: int, version: int, candidate: bool) -> None:
+        """Adopt one entry verbatim (restore/migration); memos start
+        invalid and refill with values a fresh computation would
+        produce anyway."""
+        state = self.scoring.state
+        du, dv = state.dense_pair(edge.u, edge.v)
+        slot = self._alloc()
+        self._edges[slot] = edge
+        self._entry[slot] = entry_id
+        self._score[slot] = score
+        self._partition[slot] = partition
+        self._slot_version[slot] = version
+        self._candidate[slot] = candidate
+        self._alive[slot] = True
+        self._ui[slot] = du
+        self._vi[slot] = dv
+        self._slot_of[entry_id] = slot
+        self._incidence.setdefault(du, {})[slot] = dv
+        self._incidence.setdefault(dv, {})[slot] = du
+        self._count += 1
+        if candidate:
+            self._num_candidates += 1
+
+    def _finish_restore(self) -> None:
+        self._refresh_bindings()
+        if self._use_heap:
+            self._rebuild_heap()
+
     @classmethod
     def from_image(cls, scoring: AdwiseScoring, image,
                    lazy: bool = True, epsilon: float = 0.1,
                    max_candidates: int = 64,
-                   initial_capacity: int = _MIN_CAPACITY
-                   ) -> "ArrayEdgeWindow":
+                   initial_capacity: int = _MIN_CAPACITY,
+                   agenda: str = "auto") -> "ArrayEdgeWindow":
         """Rebuild a window from an image; continues bit-identically."""
         new = cls(scoring, lazy=lazy, epsilon=epsilon,
                   max_candidates=max_candidates,
                   initial_capacity=max(initial_capacity,
-                                       2 * len(image.entries)))
+                                       2 * len(image.entries)),
+                  agenda=agenda)
         for entry_id, u, v, score, partition, version, candidate in \
                 image.entries:
-            edge = Edge(u, v)
-            slot = new._alloc()
-            new._edges[slot] = edge
-            new._entry[slot] = entry_id
-            new._score[slot] = score
-            new._partition[slot] = partition
-            new._slot_version[slot] = version
-            new._candidate[slot] = candidate
-            new._alive[slot] = True
-            new._slot_of[entry_id] = slot
-            for endpoint in (edge.u, edge.v):
-                new._incidence.setdefault(endpoint, set()).add(slot)
-            new._count += 1
-            if candidate:
-                new._num_candidates += 1
+            new._restore_slot(Edge(u, v), entry_id, score, partition,
+                              version, candidate)
         new._next_id = image.next_id
         new._score_sum = image.score_sum
         new._version = image.version
         new.promotions = image.promotions
+        new._finish_restore()
         return new
 
     # ------------------------------------------------------------------
     # Migration (hybrid window engine)
     # ------------------------------------------------------------------
     @classmethod
-    def from_object_window(cls, window, initial_capacity: int = _MIN_CAPACITY
-                           ) -> "ArrayEdgeWindow":
+    def from_object_window(cls, window, initial_capacity: int = _MIN_CAPACITY,
+                           agenda: str = "auto") -> "ArrayEdgeWindow":
         """Adopt an :class:`~repro.core.window.EdgeWindow`'s exact state.
 
         The hybrid ``auto`` backend runs the object window while ``w`` is
@@ -494,35 +604,24 @@ class ArrayEdgeWindow:
         (score, partition, version) triples, candidate membership, the
         float score sum with its accumulation history, the pop version,
         and the promotion counter — so the migrated window continues
-        bit-identically; component memos start invalid and refill with
-        values a fresh computation would produce anyway.
+        bit-identically.
         """
         new = cls(window.scoring, lazy=window.lazy, epsilon=window.epsilon,
                   max_candidates=window.max_candidates,
-                  initial_capacity=max(initial_capacity, 2 * len(window)))
+                  initial_capacity=max(initial_capacity, 2 * len(window)),
+                  agenda=agenda)
         for entry_id in sorted(window._entries):
             entry = window._entries[entry_id]
-            edge = entry.edge
-            slot = new._alloc()
-            new._edges[slot] = edge
-            new._entry[slot] = entry_id
-            new._score[slot] = entry.best_score
-            new._partition[slot] = entry.best_partition
-            new._slot_version[slot] = entry.version
-            new._candidate[slot] = entry.candidate
-            new._alive[slot] = True
-            new._slot_of[entry_id] = slot
-            for endpoint in (edge.u, edge.v):
-                new._incidence.setdefault(endpoint, set()).add(slot)
-            new._count += 1
-            if entry.candidate:
-                new._num_candidates += 1
+            new._restore_slot(entry.edge, entry_id, entry.best_score,
+                              entry.best_partition, entry.version,
+                              entry.candidate)
         new._next_id = window._next_id
         new._score_sum = window._score_sum
         new._version = window._version
         new.promotions = window.promotions
         new.stat_refills = getattr(window, "stat_refills", 0)
         new.stat_pops = getattr(window, "stat_pops", 0)
+        new._finish_restore()
         return new
 
     # ------------------------------------------------------------------
@@ -530,49 +629,172 @@ class ArrayEdgeWindow:
     # ------------------------------------------------------------------
     def add(self, edge: Edge) -> int:
         """Insert ``edge``; score it once and classify it; return entry id."""
-        return self.add_block([edge])[0]
+        return self.add_block((edge,))[0]
 
     def add_block(self, edges: Sequence[Edge],
                   observe: Optional[Callable[[Edge], None]] = None
                   ) -> List[int]:
-        """Rule 1 for a whole refill block in one kernel call.
+        """Rule 1 for a whole refill block.
 
         Replays the object window's sequential semantics exactly: edge
         ``i``'s Ψ normalisations are captured right after it is observed
         (before later block edges touch the degree table), its
         neighborhood sees only earlier entries, and classification walks
         the block in order against the evolving threshold and candidate
-        cap.  Only the ``k``-partition scoring itself is batched.
+        cap.  Native backends run the fused add kernel per edge; the
+        numpy fallback batches the ``k``-partition scoring into one
+        vectorised computation.  The clock charge (``k`` per edge, like
+        ``score_all``) is batched up front — same total, same model.
         """
         n = len(edges)
         if n == 0:
             return []
-        if n == 1:
-            return [self._add_one(edges[0], observe)]
+        if not (self._kern.native or n == 1):
+            return self._add_block_numpy(edges, observe)
         self.stat_refills += n
+        scoring = self.scoring
+        state = scoring.state
+        if scoring.clock is not None:
+            scoring.clock.charge_score(n * state.num_partitions)
+        # λ·B is constant across the refill: no assignments happen
+        # mid-block, so the memo would hit anyway — hoist it.
+        lamb = scoring._lambda_balance()
+        use_cs = scoring.use_clustering
+        return [self._add_one(edge, observe, lamb, use_cs) for edge in edges]
+
+    def _heap_insert(self, slot: int) -> None:
+        self.stat_heap_pushes += 1
+        self._kern.heap_push(self, slot)
+
+    def _classify_new(self, slot: int, score: float) -> None:
+        """Candidate-vs-secondary decision for a just-scored slot, after
+        its score joined the running sum (rule 1's threshold test)."""
+        if (not self.lazy
+                or (score > self._score_sum / self._count + self.epsilon
+                    and self._num_candidates < self.max_candidates)):
+            self._candidate[slot] = True
+            self._num_candidates += 1
+            if self._use_heap:
+                self._heap_insert(slot)
+
+    def _add_one(self, edge: Edge, observe: Optional[Callable[[Edge], None]],
+                 lamb: np.ndarray, use_cs: bool) -> int:
+        """Steady-state refill: one edge through the fused add kernel.
+
+        Mirrors :meth:`AdwiseScoring.score_all` operation-for-operation
+        (the Ψ capture is the live degree table at this edge's insert
+        moment) and stamps the slot's memos and validity keys against
+        the tables the score was computed from.  The clock charge is
+        the caller's (batched per block).
+        """
+        if observe is not None:
+            observe(edge)
         state = self.scoring.state
-        degree_of = state.degree_of
+        du, dv = state.dense_pair(edge.u, edge.v)
+        # Inlined _refresh_bindings fast path: replica_matrix() also
+        # syncs pending replica bits, which the add kernel must see.
+        if state.replica_matrix() is not self._bound_replicas:
+            self._refresh_bindings()
+        slot = self._alloc()
+        if use_cs:
+            nbrs = self._dense_neighborhood(du, dv)
+            seg_count = len(nbrs)
+            if seg_count:
+                seg_start = self._pool_alloc(seg_count)
+                pool = self._pool
+                i = seg_start
+                for dense in nbrs:
+                    pool[i] = dense
+                    i += 1
+            else:
+                seg_start = 0
+        else:
+            seg_start = 0
+            seg_count = 0
+        entry_id = self._next_id
+        self._next_id = entry_id + 1
+        self._edges[slot] = edge
+        self._entry[slot] = entry_id
+        self._candidate[slot] = False
+        self._alive[slot] = True
+        self._slot_of[entry_id] = slot
+        # Bump the incidence versions *before* the kernel stamps the new
+        # slot's nbr_key: inserting the edge changes its neighbors'
+        # neighborhoods (they see the bumped counter as a stale key) but
+        # not its own (it excludes itself), so the stamped key is fresh.
+        iver = self._iver
+        iver[du] += 1
+        if dv != du:
+            iver[dv] += 1
+        score = self._kern.add(self, slot, du, dv, seg_start, seg_count,
+                               lamb, use_cs)
+        incidence = self._incidence
+        incidence.setdefault(du, {})[slot] = dv
+        incidence.setdefault(dv, {})[slot] = du
+        self._count += 1
+        self._score_sum += score
+        self._classify_new(slot, score)
+        return entry_id
+
+    def _add_block_numpy(self, edges: Sequence[Edge],
+                         observe: Optional[Callable[[Edge], None]]
+                         ) -> List[int]:
+        """Vectorised rule 1 for the numpy fallback: the per-edge walk
+        captures each edge's Ψ/degree/version snapshot, then one
+        broadcast computation scores the whole block (replica rows never
+        move mid-block — no assignments happen — so end-of-block rows
+        equal each edge's insertion-time rows, and the stamped keys are
+        exact)."""
+        n = len(edges)
+        self.stat_refills += n
+        scoring = self.scoring
+        state = scoring.state
+        if scoring.clock is not None:
+            scoring.clock.charge_score(n * state.num_partitions)
+        use_cs = scoring.use_clustering
+        count_before = self._count
+        ids: List[int] = []
         slot_list: List[int] = []
-        us: List[int] = []
-        vs: List[int] = []
+        dus = np.zeros(n, dtype=np.int64)
+        dvs = np.zeros(n, dtype=np.int64)
         psi_u = np.zeros(n, dtype=np.float64)
         psi_v = np.zeros(n, dtype=np.float64)
-        nbr_concat: List[int] = []
-        count_list: List[int] = []
-        ids: List[int] = []
-        count_before = self._count
+        keys = np.zeros((n, 5), dtype=np.int64)
         for i, edge in enumerate(edges):
             if observe is not None:
                 observe(edge)
-            self._degrees_moved(edge)
-            denominator = 2.0 * max(1, state.max_degree)
-            psi_u[i] = degree_of(edge.u) / denominator
-            psi_v[i] = degree_of(edge.v) / denominator
-            nbrs = self._slot_neighborhood(edge.u, edge.v, None)
-            count_list.append(len(nbrs))
-            nbr_concat.extend(nbrs)
-            us.append(edge.u)
-            vs.append(edge.v)
+            du, dv = state.dense_pair(edge.u, edge.v)
+            self._refresh_bindings()
+            deg = state.degrees_dense()
+            row_version = state.row_version_array()
+            max_degree = state.max_degree
+            deg_u = int(deg[du])
+            deg_v = int(deg[dv])
+            denominator = 2.0 * max(1, max_degree)
+            psi_u[i] = deg_u / denominator
+            psi_v[i] = deg_v / denominator
+            keys[i, 0] = row_version[du]
+            keys[i, 1] = row_version[dv]
+            keys[i, 2] = deg_u
+            keys[i, 3] = deg_v
+            keys[i, 4] = max_degree
+            dus[i] = du
+            dvs[i] = dv
+            if use_cs:
+                nbrs = self._dense_neighborhood(du, dv)
+                seg_count = len(nbrs)
+                if seg_count:
+                    seg_start = self._pool_alloc(seg_count)
+                    pool = self._pool
+                    j = seg_start
+                    for dense in nbrs:
+                        pool[j] = dense
+                        j += 1
+                else:
+                    seg_start = 0
+            else:
+                seg_start = 0
+                seg_count = 0
             slot = self._alloc()
             slot_list.append(slot)
             entry_id = self._next_id
@@ -580,31 +802,47 @@ class ArrayEdgeWindow:
             ids.append(entry_id)
             self._edges[slot] = edge
             self._entry[slot] = entry_id
-            self._slot_version[slot] = -1
             self._candidate[slot] = False
             self._alive[slot] = True
-            # Block scores are computed against mid-block snapshots (the
-            # captured Ψ, the partial incidence), so they are not valid
-            # component memos; the first rescore recomputes them.
-            self._rep_valid[slot] = False
-            self._cs_valid[slot] = False
+            self._ui[slot] = du
+            self._vi[slot] = dv
+            self._nbr_start[slot] = seg_start
+            self._nbr_count[slot] = seg_count
             self._slot_of[entry_id] = slot
-            for endpoint in (edge.u, edge.v):
-                self._touch_vertex(endpoint)
-                self._incidence.setdefault(endpoint, set()).add(slot)
+            iver = self._iver
+            iver[du] += 1
+            if dv != du:
+                iver[dv] += 1
+            self._nbr_key[slot, 0] = iver[du]
+            self._nbr_key[slot, 1] = iver[dv]
+            self._incidence.setdefault(du, {})[slot] = dv
+            self._incidence.setdefault(dv, {})[slot] = du
             self._count += 1
-        scores = self.scoring.score_batch(
-            us, vs, nbr_concat, np.asarray(count_list, dtype=np.int64),
-            psi_u=psi_u, psi_v=psi_v)
-        best_columns = scores.argmax(axis=1)
-        best_scores = scores.max(axis=1)
+        replicas = state.replica_matrix()
+        row_version = state.row_version_array()
         slots = np.asarray(slot_list, dtype=np.int64)
+        rep = (replicas[dus] * (2.0 - psi_u)[:, None]
+               + replicas[dvs] * (2.0 - psi_v)[:, None])
+        self._rep[slots] = rep
+        self._rep_key[slots] = keys
+        totals = scoring._lambda_balance() + rep
+        if use_cs:
+            idx, counts = self._kern._segment_index(self, slots)
+            hits = self._kern._segment_sums(replicas, idx, counts)
+            cs = np.zeros_like(hits, dtype=np.float64)
+            nonzero = counts > 0
+            if nonzero.any():
+                cs[nonzero] = hits[nonzero] / counts[nonzero, None]
+            self._cs[slots] = cs
+            self._cs_sum[slots] = self._kern._segment_sums(
+                row_version, idx, counts)
+            totals += cs
+        best_columns = totals.argmax(axis=1)
+        best_scores = totals.max(axis=1)
         self._score[slots] = best_scores
-        self._partition[slots] = self._partition_ids[best_columns]
+        self._partition[slots] = self._pids[best_columns]
         self._slot_version[slots] = self._version
         score_list = best_scores.tolist()
-        lazy = self.lazy
-        epsilon = self.epsilon
         for i in range(n):
             slot = slot_list[i]
             score = score_list[i]
@@ -612,113 +850,59 @@ class ArrayEdgeWindow:
             # Threshold as the object window saw it mid-block: entries
             # i+1.. are not part of the average yet.
             entries_so_far = count_before + i + 1
-            should_be_candidate = (
-                not lazy
-                or (score > self._score_sum / entries_so_far + epsilon
-                    and self._num_candidates < self.max_candidates))
-            if should_be_candidate:
+            if (not self.lazy
+                    or (score > self._score_sum / entries_so_far + self.epsilon
+                        and self._num_candidates < self.max_candidates)):
                 self._candidate[slot] = True
                 self._num_candidates += 1
+                if self._use_heap:
+                    self._heap_insert(slot)
         return ids
-
-    def _add_one(self, edge: Edge,
-                 observe: Optional[Callable[[Edge], None]]) -> int:
-        """Steady-state refill: one edge, components computed and memoized.
-
-        Mirrors :meth:`AdwiseScoring.score_all` operation-for-operation
-        (the Ψ capture is the live degree table when the block is one
-        edge) and seeds the slot's component memos with the freshly
-        computed R/CS vectors.
-        """
-        self.stat_refills += 1
-        if observe is not None:
-            observe(edge)
-        scoring = self.scoring
-        state = scoring.state
-        self._degrees_moved(edge)
-        if scoring.clock is not None:
-            scoring.clock.charge_score(state.num_partitions)
-        row_u, row_v = state.replica_rows_pair(edge.u, edge.v)
-        rep = (row_u * (2.0 - scoring.psi(edge.u))
-               + row_v * (2.0 - scoring.psi(edge.v)))
-        total = scoring._lambda_balance() + rep
-        nbrs = self._slot_neighborhood(edge.u, edge.v, None)
-        use_clustering = scoring.use_clustering
-        cs = None
-        nbr_list = list(nbrs)
-        if use_clustering and nbr_list:
-            cs = state.replica_hits(nbr_list) / len(nbr_list)
-            total += cs
-        column = int(total.argmax())
-        score = float(total[column])
-        partition = state.partitions[column]
-        slot = self._alloc()
-        entry_id = self._next_id
-        self._next_id += 1
-        self._edges[slot] = edge
-        self._entry[slot] = entry_id
-        self._score[slot] = score
-        self._partition[slot] = partition
-        self._slot_version[slot] = self._version
-        self._candidate[slot] = False
-        self._alive[slot] = True
-        self._slot_of[entry_id] = slot
-        self._rep[slot] = rep
-        self._rep_valid[slot] = True
-        for endpoint in (edge.u, edge.v):
-            # Touch before inserting: the new slot's own memos (set below)
-            # must survive its own insertion.
-            self._touch_vertex(endpoint)
-            self._incidence.setdefault(endpoint, set()).add(slot)
-        if use_clustering:
-            if cs is not None:
-                self._cs[slot] = cs
-            else:
-                self._cs[slot] = 0.0
-            self._cs_valid[slot] = True
-        self._nbr_cache[slot] = nbr_list
-        self._count += 1
-        self._score_sum += score
-        if (not self.lazy
-                or (score > self._score_sum / self._count + self.epsilon
-                    and self._num_candidates < self.max_candidates)):
-            self._candidate[slot] = True
-            self._num_candidates += 1
-        return entry_id
 
     def _remove_slot(self, slot: int) -> None:
         self._score_sum -= float(self._score[slot])
         if self._candidate[slot]:
             self._candidate[slot] = False
             self._num_candidates -= 1
+            if self._use_heap:
+                self._kern.heap_remove(self, slot)
+                self.stat_heap_removes += 1
         self._alive[slot] = False
-        edge = self._edges[slot]
-        for endpoint in (edge.u, edge.v):
-            incident = self._incidence.get(endpoint)
-            if incident is not None:
-                incident.discard(slot)
-                if not incident:
-                    del self._incidence[endpoint]
-                else:
-                    self._touch_vertex(endpoint)
+        du = int(self._ui[slot])
+        dv = int(self._vi[slot])
+        incidence = self._incidence
+        iver = self._iver
+        for dense in (du, dv) if du != dv else (du,):
+            bucket = incidence.get(dense)
+            if bucket is not None:
+                bucket.pop(slot, None)
+                if not bucket:
+                    del incidence[dense]
+            # Membership at this vertex changed: neighbors' segments are
+            # now stale (pulled on their next rescore).
+            iver[dense] += 1
         self._edges[slot] = None
-        self._nbr_cache[slot] = None
-        self._rep_valid[slot] = False
-        self._cs_valid[slot] = False
         del self._slot_of[int(self._entry[slot])]
-        self._entry[slot] = -1
+        # Memos, validity keys, entry id and segment stay as-is: nothing
+        # reads a dead slot (the alive/candidate masks and the agenda all
+        # exclude it, and the pool GC skips it), and reuse through the
+        # add kernel restamps every field.
         self._count -= 1
         self._free.append(slot)
         if (self._capacity > _MIN_CAPACITY
                 and self._count * 4 <= self._capacity):
             self._compact()
 
-    def _rescore_secondary(self) -> None:
+    # ------------------------------------------------------------------
+    # Traversal rules 2 and 3
+    # ------------------------------------------------------------------
+    def _rescore_secondary(self, lamb: np.ndarray, use_cs: bool) -> None:
         """Rule 2: candidate set empty → rescore Q, promote above-Θ edges."""
         if self._count == self._num_candidates:
             return
         slots = self._sorted_slots(candidate=False)
-        scores = self._rescore_slots(slots)
+        self._rescore_batch(slots, lamb, use_cs)
+        scores = self._score[slots]
         threshold = self.threshold
         above = slots[scores > threshold]
         if above.size == 0:
@@ -730,31 +914,35 @@ class ArrayEdgeWindow:
             self._candidate[slot] = True
             self._num_candidates += 1
             self.promotions += 1
+            if self._use_heap:
+                self._heap_insert(slot)
 
     def pop_best(self) -> Tuple[Edge, int, float]:
         """Remove and return the best (edge, partition, score) assignment.
 
-        Stale candidate caches (an assignment happened since they were
-        computed) are refreshed through the batched component path; fresh
+        Version-stale candidate caches (an assignment happened since
+        they were computed) are refreshed through the kernel; fresh
         caches are reused — the lazy saving.  Ties break toward the
-        lowest entry id, matching the object window's ordered scan.
+        lowest entry id, matching the object window's ordered scan (the
+        agenda's total order makes the heap root exactly that slot).
         """
         if self._count == 0:
             raise IndexError("pop_best from an empty window")
         self.stat_pops += 1
+        self._refresh_bindings()
+        scoring = self.scoring
+        lamb = scoring._lambda_balance()
+        use_cs = scoring.use_clustering
         if self._num_candidates == 0:
-            self._rescore_secondary()
-        slots = self._sorted_slots(candidate=True)
-        if slots.size == 0:  # pragma: no cover - guarded by the invariant
+            self._rescore_secondary(lamb, use_cs)
+        if self._num_candidates == 0:  # pragma: no cover - rule-2 invariant
             raise RuntimeError("window invariant violated: no candidates "
                                "after rule-2 rescoring of a non-empty window")
-        stale = slots[self._slot_version[slots] != self._version]
-        if stale.size:
-            self._rescore_slots(stale)
-        scores = self._score[slots]
-        best = int(scores.argmax())
-        best_slot = int(slots[best])
-        best_score = float(scores[best])
+        if self._use_heap:
+            best_slot = self._pop_agenda(lamb, use_cs)
+        else:
+            best_slot = self._pop_scan(lamb, use_cs)
+        best_score = float(self._score[best_slot])
         best_partition = int(self._partition[best_slot])
         edge = self._edges[best_slot]
         self._remove_slot(best_slot)
@@ -763,45 +951,65 @@ class ArrayEdgeWindow:
         self._version += 1
         return edge, best_partition, best_score
 
+    def _pop_agenda(self, lamb: np.ndarray, use_cs: bool) -> int:
+        """One agenda transaction: rescore stale candidates, repair the
+        heap, return the root.  Restarts after rebuilding any stale
+        neighborhood segments the kernel reported (the kernel is pure
+        until its commit point)."""
+        kern = self._kern
+        while True:
+            best_slot, needy, stats = kern.pop(self, lamb, use_cs)
+            if best_slot >= 0:
+                break
+            if best_slot != -1:  # pragma: no cover - guarded by caller
+                raise RuntimeError("pop from an empty agenda")
+            self._rebuild_segments(needy)
+        rescored, rep_recomputed, cs_recomputed = stats
+        if rescored:
+            clock = self.scoring.clock
+            if clock is not None:
+                clock.charge_score(
+                    rescored * self.scoring.state.num_partitions)
+            self.stat_rescored_slots += rescored
+            self.stat_rep_recomputed += rep_recomputed
+            self.stat_cs_recomputed += cs_recomputed
+            self.stat_reheaps += 1
+        return best_slot
+
+    def _pop_scan(self, lamb: np.ndarray, use_cs: bool) -> int:
+        """PR-5 selection (``agenda="scan"``): rescore stale candidates,
+        then argmax over the entry-sorted candidate list."""
+        slots = self._sorted_slots(candidate=True)
+        stale = slots[self._slot_version[slots] != self._version]
+        if stale.size:
+            self._rescore_batch(stale, lamb, use_cs)
+        scores = self._score[slots]
+        return int(slots[int(scores.argmax())])
+
     def on_replicas_changed(self, vertices: Iterable[int]) -> int:
         """Rule 3: reassess secondary edges touching changed replica sets.
 
-        Also drives the component-memo push invalidation: replication
-        memos of slots incident to a changed vertex (one hop) and
-        clustering memos of slots that can see it as a window neighbor
-        (two hops) are dropped.  Returns the number of secondary edges
-        promoted to the candidate set.
+        Unlike the PR-5 window this performs no invalidation sweeps —
+        the changed vertices' bumped row versions make every affected
+        validity key stale, one or two hops out, and the rescore pulls
+        them.  Returns the number of secondary edges promoted to the
+        candidate set.
         """
-        touched: Set[int] = set()
-        incidence = self._incidence
-        edges = self._edges
-        rep_valid = self._rep_valid
-        cs_valid = self._cs_valid
-        use_clustering = self.scoring.use_clustering
-        for vertex in vertices:
-            incident = incidence.get(vertex)
-            if not incident:
-                continue
-            touched.update(incident)
-            for slot in incident:
-                rep_valid[slot] = False
-            if use_clustering:
-                # Two hops: slots that can see ``vertex`` as a window
-                # neighbor share an endpoint with one of its edges.  The
-                # endpoints are deduplicated first — hubs appear in most
-                # incident edges and would be swept repeatedly otherwise.
-                endpoints: Set[int] = set()
-                for slot in incident:
-                    edge = edges[slot]
-                    endpoints.add(edge.u)
-                    endpoints.add(edge.v)
-                for endpoint in endpoints:
-                    for two_hop in incidence.get(endpoint, ()):
-                        cs_valid[two_hop] = False
         if not self.lazy:
             return 0
+        vindex = self.scoring.state._vindex
+        incidence = self._incidence
+        touched: Set[int] = set()
+        for vertex in vertices:
+            dense = vindex.get(vertex)
+            if dense is None:
+                continue
+            bucket = incidence.get(dense)
+            if bucket:
+                touched.update(bucket.keys())
         if not touched:
             return 0
+        self._refresh_bindings()
         slots = np.fromiter(touched, dtype=np.int64, count=len(touched))
         secondary = self._alive[slots] & ~self._candidate[slots]
         slots = slots[secondary]
@@ -809,8 +1017,12 @@ class ArrayEdgeWindow:
             return 0
         if slots.size > 1:
             slots = slots[np.argsort(self._entry[slots])]
+        scoring = self.scoring
+        lamb = scoring._lambda_balance()
+        use_cs = scoring.use_clustering
         threshold = self.threshold  # snapshot, like the object window
-        scores = self._rescore_slots(slots)
+        self._rescore_batch(slots, lamb, use_cs)
+        scores = self._score[slots]
         promoted = 0
         for i, slot in enumerate(slots.tolist()):
             if (scores[i] > threshold
@@ -819,4 +1031,6 @@ class ArrayEdgeWindow:
                 self._num_candidates += 1
                 promoted += 1
                 self.promotions += 1
+                if self._use_heap:
+                    self._heap_insert(slot)
         return promoted

@@ -96,6 +96,15 @@ class FastPartitionState:
         # touch the matrix (DBH, greedy) pay only an occasional batched
         # drain — and the queue stays bounded on arbitrarily long streams.
         self._pending_replicas: List[Tuple[int, int]] = []
+        # Pull-validity counters for the window's component memos
+        # (DESIGN.md §14): ``_row_version[i]`` bumps whenever dense
+        # vertex ``i``'s replica row gains a bit, and ``_deg`` mirrors
+        # the degree table densely so compiled kernels can read degrees
+        # without dict lookups.  Memo keys recorded against these
+        # counters stay valid exactly as long as a fresh recomputation
+        # would produce the memoized value.
+        self._row_version = np.zeros(self._capacity, dtype=np.int64)
+        self._deg = np.zeros(self._capacity, dtype=np.int64)
         self._zero_row = np.zeros(k, dtype=bool)
         self._zero_row.setflags(write=False)
         self.max_degree: int = 1
@@ -125,6 +134,12 @@ class FastPartitionState:
         replicas = np.zeros((capacity, len(self._partitions)), dtype=bool)
         replicas[:self._capacity] = self._replicas
         self._replicas = replicas
+        row_version = np.zeros(capacity, dtype=np.int64)
+        row_version[:self._capacity] = self._row_version
+        self._row_version = row_version
+        deg = np.zeros(capacity, dtype=np.int64)
+        deg[:self._capacity] = self._deg
+        self._deg = deg
         self._capacity = capacity
 
     # ------------------------------------------------------------------
@@ -301,14 +316,48 @@ class FastPartitionState:
         return self._replicas[rows].sum(axis=0, dtype=np.int64)
 
     # ------------------------------------------------------------------
+    # Dense accessors (compiled window kernels, DESIGN.md §14)
+    # ------------------------------------------------------------------
+    def dense_pair(self, u: int, v: int) -> Tuple[int, int]:
+        """Dense intern indices of both endpoints (interning on first sight)."""
+        row = self._row
+        return row(u), row(v)
+
+    def replica_matrix(self) -> np.ndarray:
+        """The synced ``(capacity, k)`` replica indicator matrix.
+
+        Kernels index rows by dense vertex index; callers must re-fetch
+        (and rebind pointers) whenever the identity changes — the matrix
+        is reallocated when the intern table grows.
+        """
+        if self._pending_replicas:
+            self._sync_replicas()
+        return self._replicas
+
+    def row_version_array(self) -> np.ndarray:
+        """Per-dense-vertex replica-row version counters (read-only use)."""
+        return self._row_version
+
+    def degrees_dense(self) -> np.ndarray:
+        """Dense mirror of the degree table (read-only use)."""
+        return self._deg
+
+    # ------------------------------------------------------------------
     # Mutation
     # ------------------------------------------------------------------
     def observe_degrees(self, edge: Edge) -> None:
-        """Update the partial degree table for an edge seen in the stream."""
+        """Update the partial degree table for an edge seen in the stream.
+
+        Vertices are interned on first observation so the dense degree
+        mirror (read by the compiled window kernels) always covers every
+        observed vertex; the dict stays the scalar read path.
+        """
         degree = self.degree
+        row = self._row
         for vertex in (edge.u, edge.v):
             d = degree.get(vertex, 0) + 1
             degree[vertex] = d
+            self._deg[row(vertex)] = d
             if d > self.max_degree:
                 self.max_degree = d
 
@@ -333,6 +382,7 @@ class FastPartitionState:
                 self._replica_bits[idx] = bits | bit
                 self._pending_replicas.append((idx, j))
                 self._total_replicas += 1
+                self._row_version[idx] += 1
                 changed.append(vertex)
         if len(self._pending_replicas) >= _SYNC_THRESHOLD:
             self._sync_replicas()
@@ -362,6 +412,9 @@ class FastPartitionState:
         """Adopt another state's degree table (restreaming support)."""
         self.degree = dict(other.degree)
         self.max_degree = other.max_degree
+        row = self._row
+        for vertex, d in self.degree.items():
+            self._deg[row(vertex)] = d
 
     # ------------------------------------------------------------------
     # Serialization (process-pool boundary)
@@ -404,6 +457,9 @@ class FastPartitionState:
         state._sizes_list = list(snap.sizes)
         state._sizes_dirty = True
         state.degree = dict(snap.degree)
+        row = state._row
+        for vertex, d in snap.degree.items():
+            state._deg[row(vertex)] = d
         state.max_degree = snap.max_degree
         state.assigned_edges = snap.assigned_edges
         (state._size_histogram, state._max_size,

@@ -1,0 +1,458 @@
+"""The k-best agenda must equal the scan agenda and the object window.
+
+The lazy agenda (DESIGN.md §14) is only admissible because every backend
+and every agenda strategy produces *bit-identical* traversals: same pop
+order, same scores, same promotions, same simulated clock.  This module
+enforces that contract three ways:
+
+* differential runs — heap agenda vs. scan agenda vs. the object
+  :class:`EdgeWindow`, across lazy/eager, fixed/adaptive windows and
+  duplicate-heavy streams, repeated for every kernel backend that can
+  build on this machine (``cc``, ``numba`` when importable, ``numpy``,
+  ``pyloop``);
+* heap property tests — random push/remove/restamp interleavings keep
+  the indexed binary max-heap's shape, order and position-index
+  invariants, both for the looped-Python source directly and for the
+  compiled backends through a live window;
+* backend parity — the numpy fallback equals each native backend on the
+  same stream (the CI numba leg runs this with numba installed), and
+  the ``REPRO_KERNEL`` / ``REPRO_NUMBA`` switches resolve as documented.
+"""
+
+import os
+from contextlib import contextmanager
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import _kernels
+from repro.core import _kernels_py as kp
+from repro.core.adwise import AdwisePartitioner
+from repro.core.array_window import ArrayEdgeWindow
+from repro.core.scoring import AdwiseScoring
+from repro.core.window import EdgeWindow
+from repro.graph.graph import Edge
+from repro.graph.stream import InMemoryEdgeStream
+from repro.partitioning.fast_state import FastPartitionState
+
+
+def _available_backends():
+    names = []
+    if _kernels._build_cc()[1] is not None:
+        names.append("cc")
+    if _kernels._build_numba():
+        names.append("numba")
+    names += ["numpy", "pyloop"]
+    return names
+
+
+BACKENDS = _available_backends()
+NATIVE = [name for name in BACKENDS if name in ("cc", "numba")]
+
+
+@contextmanager
+def forced_backend(name):
+    saved = os.environ.get("REPRO_KERNEL")
+    os.environ["REPRO_KERNEL"] = name
+    try:
+        yield
+    finally:
+        if saved is None:
+            os.environ.pop("REPRO_KERNEL", None)
+        else:
+            os.environ["REPRO_KERNEL"] = saved
+
+
+# ---------------------------------------------------------------------------
+# Strategies: small vertex universe => duplicate edges, dense incidence
+# buckets, frequent rule-2/rule-3 activity.
+# ---------------------------------------------------------------------------
+
+edge_lists = st.lists(
+    st.tuples(st.integers(0, 18), st.integers(0, 18)).filter(
+        lambda t: t[0] != t[1]),
+    min_size=1, max_size=70)
+
+partition_counts = st.integers(2, 8)
+
+
+def stream_of(pairs):
+    return InMemoryEdgeStream([Edge(u, v) for u, v in pairs])
+
+
+def run_partitioner(pairs, k, backend=None, window_backend="array",
+                    **kwargs):
+    if backend is None:
+        partitioner = AdwisePartitioner(range(k), fast=True,
+                                        window_backend=window_backend,
+                                        **kwargs)
+        return partitioner, partitioner.partition_stream(stream_of(pairs))
+    with forced_backend(backend):
+        return run_partitioner(pairs, k, window_backend=window_backend,
+                               **kwargs)
+
+
+def assert_same_run(reference, result):
+    ref_partitioner, ref_result = reference
+    partitioner, res = result
+    assert (list(res.assignments.items())
+            == list(ref_result.assignments.items()))
+    assert res.replication_degree == ref_result.replication_degree
+    assert res.imbalance == ref_result.imbalance
+    assert res.latency_ms == ref_result.latency_ms
+    assert res.score_computations == ref_result.score_computations
+    assert res.extras == ref_result.extras
+    ref_events = [(e.assignments, e.window_before, e.window_after, e.decision)
+                  for e in ref_partitioner.controller.events]
+    events = [(e.assignments, e.window_before, e.window_after, e.decision)
+              for e in partitioner.controller.events]
+    assert events == ref_events
+
+
+# ---------------------------------------------------------------------------
+# Differential grid: heap agenda == object window, per backend
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@settings(deadline=None, max_examples=12)
+@given(edge_lists, partition_counts)
+def test_lazy_fixed_window_parity(backend, pairs, k):
+    reference = run_partitioner(pairs, k, window_backend="object",
+                                fixed_window=12)
+    assert_same_run(reference, run_partitioner(pairs, k, backend=backend,
+                                               fixed_window=12))
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@settings(deadline=None, max_examples=10)
+@given(edge_lists, partition_counts)
+def test_lazy_adaptive_window_parity(backend, pairs, k):
+    reference = run_partitioner(pairs, k, window_backend="object",
+                                latency_preference_ms=5.0)
+    assert_same_run(reference, run_partitioner(
+        pairs, k, backend=backend, latency_preference_ms=5.0))
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@settings(deadline=None, max_examples=8)
+@given(edge_lists, partition_counts)
+def test_eager_fixed_window_parity(backend, pairs, k):
+    reference = run_partitioner(pairs, k, window_backend="object",
+                                fixed_window=10, lazy=False)
+    assert_same_run(reference, run_partitioner(
+        pairs, k, backend=backend, fixed_window=10, lazy=False))
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@settings(deadline=None, max_examples=8)
+@given(edge_lists, partition_counts)
+def test_eager_adaptive_window_parity(backend, pairs, k):
+    reference = run_partitioner(pairs, k, window_backend="object",
+                                latency_preference_ms=5.0, lazy=False)
+    assert_same_run(reference, run_partitioner(
+        pairs, k, backend=backend, latency_preference_ms=5.0, lazy=False))
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@settings(deadline=None, max_examples=8)
+@given(edge_lists, partition_counts)
+def test_duplicate_heavy_stream_parity(backend, pairs, k):
+    doubled = [pair for pair in pairs for _ in (0, 1)]
+    reference = run_partitioner(doubled, k, window_backend="object",
+                                fixed_window=8)
+    assert_same_run(reference, run_partitioner(doubled, k, backend=backend,
+                                               fixed_window=8))
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@settings(deadline=None, max_examples=6)
+@given(edge_lists, partition_counts)
+def test_tiny_candidate_cap_parity(backend, pairs, k):
+    """max_candidates=2 forces constant rule-2 rescues and promotions."""
+    reference = run_partitioner(pairs, k, window_backend="object",
+                                fixed_window=10, max_candidates=2)
+    assert_same_run(reference, run_partitioner(
+        pairs, k, backend=backend, fixed_window=10, max_candidates=2))
+
+
+# ---------------------------------------------------------------------------
+# Agenda strategies: heap vs. scan vs. object, driven directly
+# ---------------------------------------------------------------------------
+
+def drive_array(pairs, k, backend, agenda, window=9, lazy=True):
+    """Pump an ArrayEdgeWindow like the partitioner does; pop trace."""
+    with forced_backend(backend):
+        state = FastPartitionState(range(k))
+        scoring = AdwiseScoring(state, balancer=None)
+        win = ArrayEdgeWindow(scoring, lazy=lazy, agenda=agenda)
+    return _drive(win, state, scoring, pairs, window)
+
+
+def drive_object(pairs, k, window=9, lazy=True):
+    state = FastPartitionState(range(k))
+    scoring = AdwiseScoring(state, balancer=None)
+    win = EdgeWindow(scoring, lazy=lazy)
+    return _drive(win, state, scoring, pairs, window)
+
+
+def _drive(win, state, scoring, pairs, window):
+    edges = [Edge(u, v).canonical() for u, v in pairs]
+    trace = []
+    i = 0
+    while i < len(edges) or len(win):
+        block = []
+        while i < len(edges) and len(win) + len(block) < window:
+            block.append(edges[i])
+            i += 1
+        if block:
+            win.add_block(block, observe=state.observe_degrees)
+        edge, partition, score = win.pop_best()
+        changed = state.assign(edge, partition)
+        scoring.after_assignment()
+        if changed:
+            win.on_replicas_changed(changed)
+        trace.append((edge.u, edge.v, partition, score))
+    return trace
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@settings(deadline=None, max_examples=10)
+@given(edge_lists, partition_counts)
+def test_heap_equals_scan_equals_object(backend, pairs, k):
+    reference = drive_object(pairs, k)
+    assert drive_array(pairs, k, backend, "heap") == reference
+    assert drive_array(pairs, k, backend, "scan") == reference
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_scan_agenda_long_stream(backend):
+    pairs = [(i % 23, (i * 7 + 1) % 29 + 23) for i in range(300)]
+    assert (drive_array(pairs, 4, backend, "scan", window=24)
+            == drive_object(pairs, 4, window=24))
+
+
+def test_invalid_agenda_rejected():
+    state = FastPartitionState([0, 1])
+    scoring = AdwiseScoring(state, balancer=None)
+    with pytest.raises(ValueError):
+        ArrayEdgeWindow(scoring, agenda="bogus")
+
+
+# ---------------------------------------------------------------------------
+# Heap invariants: property tests over the looped-Python source
+# ---------------------------------------------------------------------------
+
+_CAPACITY = 32
+
+heap_ops = st.lists(
+    st.tuples(st.sampled_from(["push", "remove", "restamp"]),
+              st.integers(0, _CAPACITY - 1),
+              st.sampled_from([0.0, 0.5, 1.0, 1.0, 2.5, -3.0])),
+    min_size=1, max_size=80)
+
+
+def check_heap_invariants(heap, heap_pos, hctl, score, entry, members):
+    n = int(hctl[0])
+    assert n == len(members)
+    assert set(heap[:n].tolist()) == members
+    for pos in range(n):
+        slot = int(heap[pos])
+        assert int(heap_pos[slot]) == pos
+        for child in (2 * pos + 1, 2 * pos + 2):
+            if child < n:
+                # Strict total order: parent beats child on
+                # (score desc, entry asc); entries are unique.
+                assert kp.heap_better(score, entry, slot,
+                                      int(heap[child]))
+    for slot in range(_CAPACITY):
+        if slot not in members:
+            assert int(heap_pos[slot]) == -1
+
+
+@settings(deadline=None, max_examples=200)
+@given(heap_ops)
+def test_heap_invariants_pyloop(ops):
+    heap = np.zeros(_CAPACITY, dtype=np.int64)
+    heap_pos = np.full(_CAPACITY, -1, dtype=np.int64)
+    hctl = np.zeros(4, dtype=np.int64)
+    score = np.zeros(_CAPACITY, dtype=np.float64)
+    entry = np.arange(_CAPACITY, dtype=np.int64)  # unique tie-break ids
+    members = set()
+    for op, slot, value in ops:
+        if op == "push":
+            if slot in members:
+                continue
+            score[slot] = value
+            kp.heap_push(heap, heap_pos, hctl, score, entry, slot)
+            members.add(slot)
+        elif op == "remove":
+            kp.heap_remove(heap, heap_pos, hctl, score, entry, slot)
+            members.discard(slot)
+        else:  # restamp: score changes in place, then a full repair
+            score[slot] = value
+            kp.heap_heapify(heap, heap_pos, hctl, score, entry)
+        check_heap_invariants(heap, heap_pos, hctl, score, entry, members)
+
+
+@settings(deadline=None, max_examples=150)
+@given(heap_ops, st.integers(0, _CAPACITY - 1))
+def test_heap_fix_matches_full_heapify(ops, fix_slot):
+    """Single-key repair (heap_fix) must restore the same invariant a
+    full heapify would — this is the pop path's m==1 fast case."""
+    heap = np.zeros(_CAPACITY, dtype=np.int64)
+    heap_pos = np.full(_CAPACITY, -1, dtype=np.int64)
+    hctl = np.zeros(4, dtype=np.int64)
+    score = np.zeros(_CAPACITY, dtype=np.float64)
+    entry = np.arange(_CAPACITY, dtype=np.int64)
+    members = set()
+    for op, slot, value in ops:
+        if op == "push" and slot not in members:
+            score[slot] = value
+            kp.heap_push(heap, heap_pos, hctl, score, entry, slot)
+            members.add(slot)
+    if fix_slot not in members:
+        return
+    score[fix_slot] = 7.25  # single stale key, repaired in place
+    kp.heap_fix(heap, heap_pos, score, entry, int(hctl[0]),
+                int(heap_pos[fix_slot]))
+    check_heap_invariants(heap, heap_pos, hctl, score, entry, members)
+
+
+@pytest.mark.parametrize("backend", NATIVE + ["pyloop"])
+def test_live_window_heap_invariants(backend):
+    """After a duplicate-heavy run with interleaved pops, the live
+    window's agenda must still be a valid indexed max-heap."""
+    pairs = [(i % 11, (i * 5 + 2) % 13 + 11) for i in range(120)] * 2
+    with forced_backend(backend):
+        state = FastPartitionState(range(4))
+        scoring = AdwiseScoring(state, balancer=None)
+        win = ArrayEdgeWindow(scoring, lazy=True)
+    edges = [Edge(u, v).canonical() for u, v in pairs]
+    for i, edge in enumerate(edges):
+        win.add_block([edge], observe=state.observe_degrees)
+        if i % 3 == 2:
+            edge_out, partition, _ = win.pop_best()
+            changed = state.assign(edge_out, partition)
+            scoring.after_assignment()
+            if changed:
+                win.on_replicas_changed(changed)
+    n = int(win._hctl[0])
+    assert n == win.candidate_count
+    for pos in range(n):
+        slot = int(win._heap[pos])
+        assert int(win._heap_pos[slot]) == pos
+        assert bool(win._candidate[slot])
+        for child in (2 * pos + 1, 2 * pos + 2):
+            if child < n:
+                assert kp.heap_better(win._score, win._entry, slot,
+                                      int(win._heap[child]))
+
+
+# ---------------------------------------------------------------------------
+# Backend parity: the numpy fallback equals every native backend
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("backend",
+                         [name for name in BACKENDS if name != "numpy"])
+def test_kernel_parity_vs_numpy(backend):
+    """Full-run equality between numpy and each buildable backend (the
+    CI numba leg runs this with numba importable, covering the
+    numpy-vs-numba case on top of cc and pyloop)."""
+    pairs = [((i * 13 + 3) % 59, (i * 7 + 1) % 61 + 59) for i in range(500)]
+    reference = run_partitioner(pairs, 6, backend="numpy", fixed_window=48)
+    assert_same_run(reference,
+                    run_partitioner(pairs, 6, backend=backend,
+                                    fixed_window=48))
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_kernel_backend_property(backend):
+    with forced_backend(backend):
+        state = FastPartitionState([0, 1])
+        win = ArrayEdgeWindow(AdwiseScoring(state, balancer=None))
+        assert win.kernel_backend == backend
+
+
+# ---------------------------------------------------------------------------
+# Environment switches (REPRO_KERNEL / REPRO_NUMBA)
+# ---------------------------------------------------------------------------
+
+def test_repro_numba_0_forces_numpy(monkeypatch):
+    monkeypatch.delenv("REPRO_KERNEL", raising=False)
+    monkeypatch.setenv("REPRO_NUMBA", "0")
+    assert _kernels.resolve_backend_name() == "numpy"
+    state = FastPartitionState([0, 1])
+    win = ArrayEdgeWindow(AdwiseScoring(state, balancer=None))
+    assert win.kernel_backend == "numpy"
+
+
+def test_repro_numba_1_prefers_numba(monkeypatch):
+    monkeypatch.delenv("REPRO_KERNEL", raising=False)
+    monkeypatch.setenv("REPRO_NUMBA", "1")
+    resolved = _kernels.resolve_backend_name()
+    if "numba" in BACKENDS:
+        assert resolved == "numba"
+    else:
+        assert resolved == ("cc" if "cc" in BACKENDS else "numpy")
+
+
+def test_unknown_kernel_name_warns_and_falls_back(monkeypatch):
+    monkeypatch.setenv("REPRO_KERNEL", "simd")
+    with pytest.warns(RuntimeWarning):
+        assert _kernels.resolve_backend_name() == "numpy"
+
+
+@pytest.mark.skipif("numba" in BACKENDS, reason="numba importable here")
+def test_explicit_numba_unavailable_warns_and_falls_back(monkeypatch):
+    monkeypatch.setenv("REPRO_KERNEL", "numba")
+    with pytest.warns(RuntimeWarning):
+        assert _kernels.resolve_backend_name() == "numpy"
+
+
+# ---------------------------------------------------------------------------
+# Restore paths: snapshot/restore and object-window migration
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("agenda", ["heap", "scan"])
+def test_image_roundtrip_continues_identically(backend, agenda):
+    pairs = [(i % 15, (i * 3 + 1) % 17 + 15) for i in range(90)]
+    with forced_backend(backend):
+        state = FastPartitionState(range(4))
+        scoring = AdwiseScoring(state, balancer=None)
+        win = ArrayEdgeWindow(scoring, lazy=True, agenda=agenda)
+        edges = [Edge(u, v).canonical() for u, v in pairs]
+        for edge in edges[:40]:
+            win.add_block([edge], observe=state.observe_degrees)
+        for _ in range(20):
+            edge, partition, _ = win.pop_best()
+            changed = state.assign(edge, partition)
+            scoring.after_assignment()
+            if changed:
+                win.on_replicas_changed(changed)
+        restored = ArrayEdgeWindow.from_image(scoring, win.to_image(),
+                                              agenda=agenda)
+        assert len(restored) == len(win)
+        assert restored.edges() == win.edges()
+        while len(win):
+            assert restored.pop_best() == win.pop_best()
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_migration_from_object_window(backend):
+    pairs = [(i % 12, (i * 5 + 3) % 14 + 12) for i in range(60)]
+    state = FastPartitionState(range(3))
+    scoring = AdwiseScoring(state, balancer=None)
+    object_win = EdgeWindow(scoring, lazy=True)
+    for u, v in pairs:
+        edge = Edge(u, v).canonical()
+        state.observe_degrees(edge)
+        object_win.add(edge)
+    with forced_backend(backend):
+        migrated = ArrayEdgeWindow.from_object_window(object_win)
+    assert len(migrated) == len(object_win)
+    assert migrated.promotions == object_win.promotions
+    while len(object_win):
+        assert migrated.pop_best() == object_win.pop_best()

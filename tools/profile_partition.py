@@ -67,6 +67,10 @@ def main(argv=None) -> int:
     parser.add_argument("--window-backend", default="auto",
                         choices=["auto", "array", "object"],
                         help="ADWISE window engine (default: auto)")
+    parser.add_argument("--kernel", default=None,
+                        choices=["auto", "cc", "numba", "numpy"],
+                        help="force the array-window kernel backend "
+                             "(sets REPRO_KERNEL; default: inherit env)")
     parser.add_argument("--window", type=int, default=64,
                         help="fixed ADWISE window size (0 = adaptive)")
     parser.add_argument("--latency-preference", type=float, default=10.0,
@@ -89,6 +93,13 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
     if args.window == 0:
         args.window = None
+    if args.kernel is not None:
+        if args.kernel == "auto":
+            os.environ.pop("REPRO_KERNEL", None)
+        else:
+            os.environ["REPRO_KERNEL"] = args.kernel
+    from repro.core import _kernels
+    print(f"kernel backend: {_kernels.resolve_backend_name()}")
 
     graph = barabasi_albert_graph(n=args.n, m=args.m, seed=args.seed)
     edges = list(shuffled(graph.edges(), seed=args.seed + 2))
